@@ -1,0 +1,99 @@
+"""Ablation: automatic partition cardinality estimation (Figure 6).
+
+A query planned with a badly over-provisioned reducer count (the
+static-guess failure mode). The ShuffleVertexManager observes producer
+output statistics at runtime and shrinks the consumer's parallelism to
+match the data. Expected shape: fewer tasks, less per-task overhead,
+same results.
+"""
+
+import pytest
+
+from repro import SimCluster
+from repro.bench import BenchTable, speedup
+from repro.tez import (
+    DAG, DataMovementType, DataSinkDescriptor, DataSourceDescriptor,
+    Descriptor, Edge, EdgeProperty, ShuffleVertexManager,
+    ShuffleVertexManagerConfig, Vertex,
+)
+from repro.tez.library import (
+    FnProcessor, HdfsInput, HdfsInputInitializer, HdfsOutput,
+    HdfsOutputCommitter, OrderedGroupedKVInput,
+    OrderedPartitionedKVOutput,
+)
+
+OVERPROVISIONED = 48
+
+
+def run_once(auto: bool) -> tuple[float, int]:
+    # A small cluster: an over-provisioned reducer count runs in many
+    # waves of tiny tasks, which is exactly what auto-reduce avoids.
+    sim = SimCluster(num_nodes=2, nodes_per_rack=2, cores_per_node=4,
+                     memory_per_node_mb=8 * 1024)
+    sim.hdfs.write("/in", [(i % 40, i) for i in range(30_000)],
+                   record_bytes=24)
+    m = Vertex("m", Descriptor(FnProcessor, {
+        "fn": lambda c, d: {"r": list(d["src"])},
+    }), parallelism=-1)
+    m.add_data_source("src", DataSourceDescriptor(
+        Descriptor(HdfsInput),
+        Descriptor(HdfsInputInitializer, {"paths": ["/in"]}),
+    ))
+    seen_parallelism = []
+
+    def reduce_fn(ctx, data):
+        seen_parallelism.append(ctx.parallelism)
+        return {"out": [(k, sum(v)) for k, v in data["m"]]}
+
+    r = Vertex("r", Descriptor(FnProcessor, {"fn": reduce_fn}),
+               parallelism=OVERPROVISIONED)
+    r.vertex_manager = Descriptor(
+        ShuffleVertexManager,
+        ShuffleVertexManagerConfig(
+            auto_parallelism=auto,
+            desired_task_input_bytes=256 * 1024,
+            slowstart_min_fraction=0.25,
+        ),
+    )
+    r.add_data_sink("out", DataSinkDescriptor(
+        Descriptor(HdfsOutput, {"path": "/out"}),
+        Descriptor(HdfsOutputCommitter, {"path": "/out"}),
+    ))
+    dag = DAG("autoreduce").add_vertex(m).add_vertex(r)
+    dag.add_edge(Edge(m, r, EdgeProperty(
+        DataMovementType.SCATTER_GATHER,
+        output_descriptor=Descriptor(OrderedPartitionedKVOutput),
+        input_descriptor=Descriptor(OrderedGroupedKVInput),
+    )))
+    client = sim.tez_client()
+    handle = client.submit_dag(dag)
+    sim.env.run(until=handle.completion)
+    assert handle.status.succeeded
+    return handle.status.elapsed, max(seen_parallelism)
+
+
+def run_workload():
+    static, static_tasks = run_once(False)
+    auto, auto_tasks = run_once(True)
+    table = BenchTable(
+        "Ablation — auto partition cardinality (Figure 6 mechanism)",
+        ["mode", "elapsed_s", "reducers"],
+    )
+    table.add("static_guess", static, static_tasks)
+    table.add("auto", auto, auto_tasks)
+    table.note(f"auto-reduce speedup: {speedup(static, auto):.2f}x; "
+               f"reducers {static_tasks} -> {auto_tasks}")
+    table.show()
+    return static, auto, static_tasks, auto_tasks
+
+
+def test_ablation_autoreduce(benchmark):
+    static, auto, static_tasks, auto_tasks = benchmark.pedantic(
+        run_workload, rounds=1, iterations=1
+    )
+    assert auto_tasks < static_tasks
+    assert auto <= static
+
+
+if __name__ == "__main__":
+    run_workload()

@@ -1,0 +1,74 @@
+"""Ablation: HDFS in-memory storage tier (paper §7 future work).
+
+"We want to provide deep integration with in-memory storage
+capabilities being added to HDFS so that Tez applications can benefit
+from in-memory computing." An iterative job re-reads its input every
+round; placing that input in the HDFS memory tier removes the disk
+read from each iteration. Expected shape: memory-tier iterations are
+IO-free and visibly faster when the job is scan-bound.
+"""
+
+import pytest
+
+from repro import SimCluster
+from repro.bench import BenchTable, speedup
+from repro.engines.pig import PigRunner
+from repro.workloads import (
+    centroids_from_rows,
+    generate_points,
+    initial_centroids,
+    kmeans_iteration_script,
+)
+
+K = 4
+ITERATIONS = 10
+
+
+def run_once(storage: str) -> float:
+    sim = SimCluster(num_nodes=2, nodes_per_rack=2,
+                     hdfs_block_size=2 * 1024 * 1024,
+                     disk_read_bw=80 * 1024 * 1024)
+    points = generate_points(10_000, k=K)
+    sim.hdfs.write("/km/points", points, record_bytes=2400,
+                   storage=storage)
+    runner = PigRunner(sim)
+    runner.tez_client.prewarm(8)
+    sim.env.run(until=sim.env.now + 25)
+    centroids = initial_centroids(points, K)
+    start = sim.env.now
+    for i in range(ITERATIONS):
+        script = kmeans_iteration_script(
+            centroids, "/km/points", f"/km/{storage}/out{i}"
+        )
+        result = runner.run(script, backend="tez")
+        centroids = centroids_from_rows(
+            result.outputs[f"/km/{storage}/out{i}"], K, centroids
+        )
+    elapsed = sim.env.now - start
+    runner.close()
+    return elapsed
+
+
+def run_workload():
+    disk = run_once("disk")
+    memory = run_once("memory")
+    table = BenchTable(
+        "Ablation — HDFS in-memory tier for iterative input "
+        f"({ITERATIONS} k-means iterations)",
+        ["storage", "elapsed_s"],
+    )
+    table.add("disk", disk)
+    table.add("memory", memory)
+    table.note(f"memory-tier speedup: {speedup(disk, memory):.2f}x")
+    table.show()
+    return disk, memory
+
+
+def test_ablation_memory_tier(benchmark):
+    disk, memory = benchmark.pedantic(run_workload, rounds=1,
+                                      iterations=1)
+    assert memory < disk
+
+
+if __name__ == "__main__":
+    run_workload()

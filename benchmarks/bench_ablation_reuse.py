@@ -1,0 +1,103 @@
+"""Ablation: container reuse and session pre-warm (paper 4.2, Fig 7).
+
+Runs the same two-DAG Hive-style session three ways: no reuse, reuse,
+reuse + pre-warm. Expected shape: reuse removes container allocation/
+launch/JIT cost from later waves and later DAGs; pre-warm removes it
+from the *first* DAG too.
+"""
+
+import pytest
+
+from repro import SimCluster
+from repro.bench import BenchTable
+from repro.tez import TezConfig
+
+import sys
+sys.path.insert(0, "tests") if "tests" not in sys.path else None
+
+
+def build_dag(sim, name, out):
+    from repro.tez import (
+        DAG, DataMovementType, DataSinkDescriptor, DataSourceDescriptor,
+        Descriptor, Edge, EdgeProperty, Vertex,
+    )
+    from repro.tez.library import (
+        FnProcessor, HdfsInput, HdfsInputInitializer, HdfsOutput,
+        HdfsOutputCommitter, OrderedGroupedKVInput,
+        OrderedPartitionedKVOutput,
+    )
+    m = Vertex("m", Descriptor(FnProcessor, {
+        "fn": lambda c, d: {"r": list(d["src"])},
+        "cpu_per_record": 2e-5,
+    }), parallelism=-1)
+    m.add_data_source("src", DataSourceDescriptor(
+        Descriptor(HdfsInput),
+        Descriptor(HdfsInputInitializer, {"paths": ["/in"]}),
+    ))
+    r = Vertex("r", Descriptor(FnProcessor, {
+        "fn": lambda c, d: {"out": [(k, sum(v)) for k, v in d["m"]]},
+    }), parallelism=4)
+    r.add_data_sink("out", DataSinkDescriptor(
+        Descriptor(HdfsOutput, {"path": out}),
+        Descriptor(HdfsOutputCommitter, {"path": out}),
+    ))
+    dag = DAG(name).add_vertex(m).add_vertex(r)
+    dag.add_edge(Edge(m, r, EdgeProperty(
+        DataMovementType.SCATTER_GATHER,
+        output_descriptor=Descriptor(OrderedPartitionedKVOutput),
+        input_descriptor=Descriptor(OrderedGroupedKVInput),
+    )))
+    return dag
+
+
+def run_session(reuse: bool, prewarm: bool) -> tuple[float, dict]:
+    sim = SimCluster(num_nodes=4, nodes_per_rack=2)
+    sim.hdfs.write("/in", [(i % 20, 1) for i in range(20_000)],
+                   record_bytes=32)
+    config = TezConfig(container_reuse=reuse)
+    client = sim.tez_client(session=True, config=config)
+    client.start()
+    if prewarm:
+        client.prewarm(8)
+        sim.env.run(until=sim.env.now + 25)
+    start = sim.env.now
+    metrics = {}
+    for i in range(3):
+        handle = client.submit_dag(build_dag(sim, f"d{i}", f"/o{i}"))
+        sim.env.run(until=handle.completion)
+        assert handle.status.succeeded
+        for k in ("containers_launched", "container_reuses"):
+            metrics[k] = metrics.get(k, 0) + handle.status.metrics[k]
+    elapsed = sim.env.now - start
+    client.stop()
+    return elapsed, metrics
+
+
+def run_workload():
+    table = BenchTable(
+        "Ablation — container reuse & session pre-warm (3-DAG session)",
+        ["config", "elapsed_s", "launched", "reused"],
+    )
+    results = {}
+    for label, reuse, prewarm in [
+        ("no_reuse", False, False),
+        ("reuse", True, False),
+        ("reuse+prewarm", True, True),
+    ]:
+        elapsed, m = run_session(reuse, prewarm)
+        results[label] = elapsed
+        table.add(label, elapsed, m["containers_launched"],
+                  m["container_reuses"])
+    table.note("expected: no_reuse > reuse > reuse+prewarm")
+    table.show()
+    return results
+
+
+def test_ablation_reuse(benchmark):
+    results = benchmark.pedantic(run_workload, rounds=1, iterations=1)
+    assert results["reuse"] < results["no_reuse"]
+    assert results["reuse+prewarm"] <= results["reuse"] * 1.05
+
+
+if __name__ == "__main__":
+    run_workload()

@@ -1,0 +1,89 @@
+"""Ablation: speculative execution vs stragglers (paper 4.2).
+
+A degraded node makes some tasks run 20x slower. With speculation off
+the job waits for the straggler; with it on, a clone races the slow
+attempt and wins. Expected shape: speculation recovers most of the
+straggler-induced latency at the cost of a few extra attempts.
+"""
+
+import pytest
+
+from repro import SimCluster
+from repro.bench import BenchTable, speedup
+from repro.tez import TezConfig
+from repro.tez import (
+    DAG, DataMovementType, DataSinkDescriptor, DataSourceDescriptor,
+    Descriptor, Edge, EdgeProperty, Vertex,
+)
+from repro.tez.library import (
+    FnProcessor, HdfsInput, HdfsInputInitializer, HdfsOutput,
+    HdfsOutputCommitter, OrderedGroupedKVInput,
+    OrderedPartitionedKVOutput,
+)
+
+
+def run_once(speculation: bool) -> tuple[float, dict]:
+    sim = SimCluster(num_nodes=6, nodes_per_rack=3,
+                     hdfs_block_size=256 * 1024)
+    sim.cluster.slow_node("node0005", 0.05)   # the aging machine
+    sim.hdfs.write("/in", [(i % 50, i) for i in range(40_000)],
+                   record_bytes=64)
+    m = Vertex("m", Descriptor(FnProcessor, {
+        "fn": lambda c, d: {"r": list(d["src"])},
+        "cpu_per_record": 3e-4,
+    }), parallelism=-1)
+    m.add_data_source("src", DataSourceDescriptor(
+        Descriptor(HdfsInput),
+        Descriptor(HdfsInputInitializer, {"paths": ["/in"]}),
+    ))
+    r = Vertex("r", Descriptor(FnProcessor, {
+        "fn": lambda c, d: {"out": [(k, len(v)) for k, v in d["m"]]},
+    }), parallelism=4)
+    r.add_data_sink("out", DataSinkDescriptor(
+        Descriptor(HdfsOutput, {"path": "/out"}),
+        Descriptor(HdfsOutputCommitter, {"path": "/out"}),
+    ))
+    dag = DAG("straggle").add_vertex(m).add_vertex(r)
+    dag.add_edge(Edge(m, r, EdgeProperty(
+        DataMovementType.SCATTER_GATHER,
+        output_descriptor=Descriptor(OrderedPartitionedKVOutput),
+        input_descriptor=Descriptor(OrderedGroupedKVInput),
+    )))
+    config = TezConfig(
+        speculation_enabled=speculation,
+        speculation_min_completed=2,
+        speculation_slowdown_factor=1.4,
+        speculation_check_interval=1.0,
+    )
+    client = sim.tez_client(config=config)
+    handle = client.submit_dag(dag)
+    sim.env.run(until=handle.completion)
+    assert handle.status.succeeded
+    return handle.status.elapsed, handle.status.metrics
+
+
+def run_workload():
+    off, off_m = run_once(False)
+    on, on_m = run_once(True)
+    table = BenchTable(
+        "Ablation — speculation vs a 20x straggler node",
+        ["speculation", "elapsed_s", "spec_attempts", "spec_wins"],
+    )
+    table.add("off", off, off_m["speculative_attempts"],
+              off_m["speculative_wins"])
+    table.add("on", on, on_m["speculative_attempts"],
+              on_m["speculative_wins"])
+    table.note(f"speculation speedup: {speedup(off, on):.2f}x")
+    table.show()
+    return off, on, on_m
+
+
+def test_ablation_speculation(benchmark):
+    off, on, on_m = benchmark.pedantic(run_workload, rounds=1,
+                                       iterations=1)
+    assert on < off
+    assert on_m["speculative_wins"] >= 1
+
+
+if __name__ == "__main__":
+    run_workload()

@@ -1,0 +1,118 @@
+"""Ablation: stitching an MR workflow into one Tez DAG (paper §7).
+
+"A tactical idea is to create tooling that enables a full MapReduce
+workflow to be stitched into a single Tez DAG." Compares a 3-job MR
+workflow run (a) natively job-by-job, (b) job-by-job through MR-on-Tez
+in a session, and (c) stitched into one DAG. Expected shape: each step
+removes overhead — (b) drops per-job AMs + cold containers, (c)
+additionally drops the replicated HDFS write+read between jobs.
+"""
+
+import pytest
+
+from repro import SimCluster
+from repro.bench import BenchTable, speedup
+from repro.engines.mapreduce import (
+    MRJob,
+    MapReduceTezRunner,
+    MapReduceYarnRunner,
+    run_stitched,
+)
+
+
+def make_jobs():
+    j1 = MRJob(
+        name="tokenize", input_paths=["/in/logs"],
+        output_path="/t/words",
+        mapper=lambda line: [(w, 1) for w in line.split()],
+        reducer=lambda k, vs: [(k, sum(vs))],
+        num_reducers=4, output_record_bytes=6000,
+    )
+    j2 = MRJob(
+        name="histogram", input_paths=["/t/words"],
+        output_path="/t/hist",
+        mapper=lambda kv: [(min(kv[1] // 100, 9), 1)],
+        reducer=lambda k, vs: [(k, sum(vs))],
+        num_reducers=4, output_record_bytes=6000,
+    )
+    j3 = MRJob(
+        name="rank", input_paths=["/t/hist"], output_path="/out/rank",
+        mapper=lambda kv: [(-kv[1], kv[0])],
+        reducer=lambda k, vs: [(k, sorted(vs))],
+        num_reducers=1,
+    )
+    return [j1, j2, j3]
+
+
+def fresh_sim():
+    sim = SimCluster(num_nodes=6, nodes_per_rack=3,
+                     hdfs_block_size=512 * 1024)
+    words = ["w%d" % (i % 20_000) for i in range(40_000)]
+    lines = [" ".join(words[i: i + 10])
+             for i in range(0, len(words), 10)]
+    sim.hdfs.write("/in/logs", lines, record_bytes=2000)
+    return sim
+
+
+def run_native():
+    sim = fresh_sim()
+    runner = MapReduceYarnRunner(sim.env, sim.rm, sim.hdfs, sim.shuffle)
+    t0 = sim.env.now
+    done = sim.env.process(runner.run_pipeline(make_jobs()))
+    sim.env.run(until=done)
+    assert all(r.succeeded for r in done.value)
+    return sim.env.now - t0, sim.hdfs.read_file("/out/rank")
+
+
+def run_mr_on_tez():
+    sim = fresh_sim()
+    client = sim.tez_client(session=True)
+    runner = MapReduceTezRunner(client)
+    t0 = sim.env.now
+    done = sim.env.process(runner.run_pipeline(make_jobs()))
+    sim.env.run(until=done)
+    assert all(r.succeeded for r in done.value)
+    client.stop()
+    return sim.env.now - t0, sim.hdfs.read_file("/out/rank")
+
+
+def run_stitched_dag():
+    sim = fresh_sim()
+    client = sim.tez_client(session=True)
+    t0 = sim.env.now
+    done = sim.env.process(run_stitched(client, make_jobs(), "wf"))
+    sim.env.run(until=done)
+    assert done.value.succeeded, done.value.diagnostics
+    client.stop()
+    return sim.env.now - t0, sim.hdfs.read_file("/out/rank")
+
+
+def run_workload():
+    native, rows_a = run_native()
+    on_tez, rows_b = run_mr_on_tez()
+    stitched, rows_c = run_stitched_dag()
+    assert sorted(rows_a, key=repr) == sorted(rows_b, key=repr) \
+        == sorted(rows_c, key=repr)
+    table = BenchTable(
+        "Ablation — MR workflow: native vs MR-on-Tez vs stitched DAG",
+        ["mode", "elapsed_s", "vs_native"],
+    )
+    table.add("native MR (3 apps)", native, 1.0)
+    table.add("MR-on-Tez session (3 DAGs)", on_tez,
+              speedup(native, on_tez))
+    table.add("stitched (1 DAG)", stitched, speedup(native, stitched))
+    table.note("each step removes a class of overhead: per-job AMs, "
+               "cold containers, inter-job HDFS round trips")
+    table.show()
+    return native, on_tez, stitched
+
+
+def test_ablation_stitching(benchmark):
+    native, on_tez, stitched = benchmark.pedantic(
+        run_workload, rounds=1, iterations=1
+    )
+    assert stitched < on_tez < native
+
+
+if __name__ == "__main__":
+    run_workload()

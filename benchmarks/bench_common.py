@@ -1,0 +1,35 @@
+"""Shared fixtures/config for the figure benchmarks.
+
+Scale knobs: the paper ran 20-4200 node clusters on terabytes; we run
+the same *workload shapes* on a simulated cluster at laptop scale. Set
+``REPRO_BENCH_SCALE=2`` (etc.) to grow the datasets.
+"""
+
+import os
+
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+def rows_equal(a, b):
+    """Result equality tolerant of distributed float-summation order."""
+    def fix(v):
+        return round(v, 4) if isinstance(v, float) else v
+
+    def canon(rows):
+        return sorted((tuple(fix(v) for v in r) for r in rows), key=repr)
+
+    return canon(a) == canon(b)
+
+# Paper-reported reference numbers (for EXPERIMENTS.md comparison).
+PAPER_NOTES = {
+    "fig8": "Hive TPC-DS 30TB/20 nodes: Tez beats MR on every query, "
+            "largest factors on short interactive queries (up to ~10x)",
+    "fig9": "Hive TPC-H 10TB/350 nodes: Tez outperforms MR at scale",
+    "fig10": "Pig production ETL at Yahoo: 1.5-2x vs MR",
+    "fig11": "Pig k-means 10/50/100 iterations: session reuse grows "
+             "the gap with iteration count",
+    "fig12": "Spark on Tez releases idle resources between jobs; "
+             "service mode holds them for the app lifetime",
+    "fig13": "5-user concurrency: Tez-based Spark jobs finish sooner "
+             "at every warehouse scale factor",
+}

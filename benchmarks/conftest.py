@@ -1,0 +1,23 @@
+"""Benchmark session configuration: generous per-bench deadline."""
+
+import signal
+
+import pytest
+
+BENCH_TIMEOUT_SECONDS = 900
+
+
+@pytest.fixture(autouse=True)
+def _bench_deadline():
+    def handler(signum, frame):
+        raise TimeoutError(
+            f"benchmark exceeded {BENCH_TIMEOUT_SECONDS}s wall clock"
+        )
+
+    old = signal.signal(signal.SIGALRM, handler)
+    signal.alarm(BENCH_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, old)

@@ -1,0 +1,20 @@
+"""Reproduction of "Apache Tez: A Unifying Framework for Modeling and
+Building Data Processing Applications" (SIGMOD 2015).
+
+Subpackages:
+
+* ``repro.sim``      — discrete-event simulation kernel
+* ``repro.cluster``  — cluster topology + cost model
+* ``repro.hdfs``     — simulated HDFS
+* ``repro.yarn``     — simulated YARN (capacity scheduler, NMs, AMs)
+* ``repro.shuffle``  — per-node shuffle service and data plane
+* ``repro.tez``      — the paper's contribution: the Tez framework
+* ``repro.engines``  — engines built on Tez: MapReduce, Hive, Pig, Spark
+* ``repro.workloads``— synthetic TPC-H/TPC-DS/ETL/k-means generators
+* ``repro.harness``  — one-line wiring of the whole simulated stack
+"""
+
+from .harness import SimCluster
+
+__version__ = "0.1.0"
+__all__ = ["SimCluster", "__version__"]

@@ -1,0 +1,87 @@
+"""Benchmark harness utilities: run matrices, paper-style tables.
+
+Each ``benchmarks/bench_*.py`` regenerates one figure of the paper's
+evaluation (section 6). These helpers keep the output format uniform:
+a header naming the paper figure, one row per configuration, and a
+summary of the comparison shape (who wins, by what factor) so results
+can be checked against EXPERIMENTS.md at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+__all__ = ["BenchTable", "speedup", "capacity_trace"]
+
+
+@dataclass
+class BenchTable:
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(list(values))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:.2f}"
+            return str(value)
+
+        body = [[fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in body))
+            if body else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [f"== {self.title} =="]
+        header = "  ".join(
+            c.ljust(w) for c, w in zip(self.columns, widths)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in body:
+            lines.append("  ".join(
+                v.ljust(w) for v, w in zip(row, widths)
+            ))
+        for note in self.notes:
+            lines.append(f"  * {note}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print()
+        print(self.render())
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """baseline/improved — >1 means 'improved' is faster."""
+    if improved <= 0:
+        return float("inf")
+    return baseline / improved
+
+
+def capacity_trace(sim, interval: float = 2.0,
+                   stop_event=None) -> list[tuple[float, float]]:
+    """Sampler process: records (time, cluster dominant-share used).
+
+    Start before the workload; read the returned list after running.
+    """
+    samples: list[tuple[float, float]] = []
+
+    def sampler() -> Generator:
+        while stop_event is None or not stop_event.triggered:
+            samples.append((sim.env.now, sim.rm.cluster_utilization()))
+            yield sim.env.timeout(interval)
+
+    sim.env.process(sampler(), name="capacity-trace")
+    return samples

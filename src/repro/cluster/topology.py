@@ -1,0 +1,134 @@
+"""Physical cluster model: racks, nodes, and locality relationships."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Optional
+
+from ..sim import Environment
+from .spec import ClusterSpec
+
+__all__ = ["Node", "Cluster", "LOCAL", "RACK_LOCAL", "REMOTE"]
+
+LOCAL = "local"
+RACK_LOCAL = "rack"
+REMOTE = "remote"
+
+
+class Node:
+    """A cluster machine: identity, rack, capacity, and health."""
+
+    def __init__(self, node_id: str, rack: str, cores: int, memory_mb: int):
+        self.node_id = node_id
+        self.rack = rack
+        self.cores = cores
+        self.memory_mb = memory_mb
+        self.alive = True
+        # Relative execution speed; < 1.0 models a degraded machine
+        # (the straggler scenario speculation targets).
+        self.speed = 1.0
+        self._crash_listeners: list[Callable[["Node"], None]] = []
+
+    def on_crash(self, callback: Callable[["Node"], None]) -> None:
+        self._crash_listeners.append(callback)
+
+    def crash(self) -> None:
+        if not self.alive:
+            return
+        self.alive = False
+        for callback in list(self._crash_listeners):
+            callback(self)
+
+    def restart(self) -> None:
+        self.alive = True
+        self.speed = 1.0
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return f"<Node {self.node_id} rack={self.rack} {state}>"
+
+
+class Cluster:
+    """The set of nodes plus topology queries used for locality."""
+
+    def __init__(self, env: Environment, spec: ClusterSpec):
+        self.env = env
+        self.spec = spec
+        self.rng = random.Random(spec.seed)
+        self.nodes: dict[str, Node] = {}
+        for i in range(spec.num_nodes):
+            rack = f"rack{i // spec.nodes_per_rack}"
+            node = Node(
+                node_id=f"node{i:04d}",
+                rack=rack,
+                cores=spec.cores_per_node,
+                memory_mb=spec.memory_per_node_mb,
+            )
+            self.nodes[node.node_id] = node
+
+    # -- lookups ---------------------------------------------------------
+    def node(self, node_id: str) -> Node:
+        return self.nodes[node_id]
+
+    def live_nodes(self) -> list[Node]:
+        return [n for n in self.nodes.values() if n.alive]
+
+    def racks(self) -> list[str]:
+        return sorted({n.rack for n in self.nodes.values()})
+
+    def nodes_in_rack(self, rack: str) -> list[Node]:
+        return [n for n in self.nodes.values() if n.rack == rack]
+
+    def locality(self, from_node: str, to_node: str) -> str:
+        """Locality class of a transfer from ``from_node`` to ``to_node``."""
+        if from_node == to_node:
+            return LOCAL
+        if self.nodes[from_node].rack == self.nodes[to_node].rack:
+            return RACK_LOCAL
+        return REMOTE
+
+    def transfer_time(self, nbytes: int, from_node: str, to_node: str) -> float:
+        return self.spec.transfer_time(nbytes, self.locality(from_node, to_node))
+
+    # -- placement helpers ------------------------------------------------
+    def sample_nodes(self, count: int, exclude: Iterable[str] = ()) -> list[Node]:
+        """Uniform sample of live nodes (deterministic given the seed)."""
+        pool = [n for n in self.live_nodes() if n.node_id not in set(exclude)]
+        if count >= len(pool):
+            return list(pool)
+        return self.rng.sample(pool, count)
+
+    def place_replicas(self, count: int, preferred: Optional[str] = None) -> list[Node]:
+        """HDFS-style replica placement: first replica on the preferred
+        (writer's) node, second on a different rack, rest spread out."""
+        live = self.live_nodes()
+        if not live:
+            raise RuntimeError("no live nodes available for placement")
+        count = min(count, len(live))
+        chosen: list[Node] = []
+        if preferred and preferred in self.nodes and self.nodes[preferred].alive:
+            chosen.append(self.nodes[preferred])
+        else:
+            chosen.append(self.rng.choice(live))
+        if count > 1:
+            off_rack = [n for n in live if n.rack != chosen[0].rack and n not in chosen]
+            if off_rack:
+                chosen.append(self.rng.choice(off_rack))
+        while len(chosen) < count:
+            remaining = [n for n in live if n not in chosen]
+            if not remaining:
+                break
+            chosen.append(self.rng.choice(remaining))
+        return chosen
+
+    # -- failure injection --------------------------------------------------
+    def crash_node(self, node_id: str) -> None:
+        self.nodes[node_id].crash()
+
+    def restart_node(self, node_id: str) -> None:
+        self.nodes[node_id].restart()
+
+    def slow_node(self, node_id: str, speed: float) -> None:
+        if not 0 < speed <= 1.0:
+            raise ValueError("speed must be in (0, 1]")
+        self.nodes[node_id].speed = speed

@@ -1,0 +1,1 @@
+"""Engines built on the simulated substrate: MapReduce, Hive, Pig, Spark."""

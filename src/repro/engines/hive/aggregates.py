@@ -1,0 +1,110 @@
+"""Aggregate state machines shared by all Hive executors.
+
+Each aggregate is a (init, update, merge, final) quadruple so the same
+definitions drive the in-memory reference, map-side partial
+aggregation and reduce-side final aggregation (partial aggregates are
+what make distributed GROUP BY cheap).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .ast_nodes import FuncCall, Star
+
+__all__ = ["agg_init", "agg_update", "agg_merge", "agg_final", "agg_input"]
+
+
+def agg_input(agg: FuncCall, row: dict) -> Any:
+    """The value fed into the aggregate for one input row."""
+    if not agg.args or isinstance(agg.args[0], Star):
+        return 1
+    return agg.args[0].eval(row)
+
+
+def agg_init(agg: FuncCall) -> Any:
+    if agg.distinct:
+        return set()
+    name = agg.name
+    if name == "count":
+        return 0
+    if name == "sum":
+        return None
+    if name == "avg":
+        return (0.0, 0)
+    if name in ("min", "max"):
+        return None
+    raise ValueError(f"unknown aggregate {name!r}")
+
+
+def agg_update(agg: FuncCall, state: Any, value: Any) -> Any:
+    if agg.distinct:
+        if value is not None:
+            state.add(value)
+        return state
+    name = agg.name
+    if name == "count":
+        is_star = not agg.args or isinstance(agg.args[0], Star)
+        return state + (1 if is_star or value is not None else 0)
+    if value is None:
+        return state
+    if name == "sum":
+        return value if state is None else state + value
+    if name == "avg":
+        total, count = state
+        return (total + value, count + 1)
+    if name == "min":
+        return value if state is None or value < state else state
+    if name == "max":
+        return value if state is None or value > state else state
+    raise ValueError(f"unknown aggregate {name!r}")
+
+
+def agg_merge(agg: FuncCall, a: Any, b: Any) -> Any:
+    if agg.distinct:
+        return a | b
+    name = agg.name
+    if name == "count":
+        return a + b
+    if name == "sum":
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a + b
+    if name == "avg":
+        return (a[0] + b[0], a[1] + b[1])
+    if name == "min":
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return min(a, b)
+    if name == "max":
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return max(a, b)
+    raise ValueError(f"unknown aggregate {name!r}")
+
+
+def agg_final(agg: FuncCall, state: Any) -> Any:
+    if agg.distinct:
+        n = len(state)
+        name = agg.name
+        if name == "count":
+            return n
+        if name == "sum":
+            return sum(state) if state else None
+        if name == "avg":
+            return sum(state) / n if n else None
+        if name == "min":
+            return min(state) if state else None
+        if name == "max":
+            return max(state) if state else None
+        raise ValueError(f"unknown aggregate {name!r}")
+    if agg.name == "avg":
+        total, count = state
+        return total / count if count else None
+    return state

@@ -1,0 +1,346 @@
+"""Expression AST for the HiveQL subset.
+
+Expressions evaluate against a row dict keyed by qualified column name
+(``alias.column``). Name resolution happens once at planning time: the
+planner sets ``Column.key`` so evaluation is a dict lookup.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = [
+    "Expr", "Column", "Literal", "Star", "BinaryOp", "UnaryOp",
+    "FuncCall", "InList", "Between", "Like", "AGGREGATE_FUNCS",
+    "SCALAR_FUNCS", "SelectItem", "TableRef", "JoinClause", "Query",
+]
+
+AGGREGATE_FUNCS = {"count", "sum", "avg", "min", "max"}
+SCALAR_FUNCS = {
+    "upper": lambda s: s.upper() if isinstance(s, str) else s,
+    "lower": lambda s: s.lower() if isinstance(s, str) else s,
+    "abs": lambda x: abs(x) if x is not None else None,
+    "substr": lambda s, start, length=None: (
+        s[start - 1: start - 1 + length] if length is not None
+        else s[start - 1:]
+    ) if isinstance(s, str) else s,
+    "year": lambda d: int(str(d)[:4]) if d is not None else None,
+    "round": lambda x, n=0: round(x, n) if x is not None else None,
+    "coalesce": lambda *args: next(
+        (a for a in args if a is not None), None
+    ),
+}
+
+
+class Expr:
+    def eval(self, row: dict) -> Any:
+        raise NotImplementedError
+
+    def columns(self) -> list["Column"]:
+        """All column references in this expression tree."""
+        out: list[Column] = []
+        self._collect_columns(out)
+        return out
+
+    def _collect_columns(self, out: list) -> None:
+        pass
+
+    def aggregates(self) -> list["FuncCall"]:
+        out: list[FuncCall] = []
+        self._collect_aggs(out)
+        return out
+
+    def _collect_aggs(self, out: list) -> None:
+        pass
+
+
+@dataclass
+class Column(Expr):
+    table: Optional[str]
+    name: str
+    key: Optional[str] = None   # resolved qualified key, set by planner
+
+    def eval(self, row: dict) -> Any:
+        return row[self.key if self.key is not None else self.name]
+
+    def _collect_columns(self, out: list) -> None:
+        out.append(self)
+
+    def display(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass
+class Literal(Expr):
+    value: Any
+
+    def eval(self, row: dict) -> Any:
+        return self.value
+
+
+@dataclass
+class Star(Expr):
+    """COUNT(*) / SELECT * marker."""
+
+    def eval(self, row: dict) -> Any:
+        return 1
+
+
+_NULL_SAFE_OPS = {"and", "or"}
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def eval(self, row: dict) -> Any:
+        op = self.op
+        if op == "and":
+            return bool(self.left.eval(row)) and bool(self.right.eval(row))
+        if op == "or":
+            return bool(self.left.eval(row)) or bool(self.right.eval(row))
+        lv = self.left.eval(row)
+        rv = self.right.eval(row)
+        if lv is None or rv is None:
+            return None if op in ("+", "-", "*", "/") else False
+        if op == "+":
+            return lv + rv
+        if op == "-":
+            return lv - rv
+        if op == "*":
+            return lv * rv
+        if op == "/":
+            return lv / rv if rv != 0 else None
+        if op == "=":
+            return lv == rv
+        if op in ("!=", "<>"):
+            return lv != rv
+        if op == "<":
+            return lv < rv
+        if op == "<=":
+            return lv <= rv
+        if op == ">":
+            return lv > rv
+        if op == ">=":
+            return lv >= rv
+        raise ValueError(f"unknown operator {op!r}")
+
+    def _collect_columns(self, out: list) -> None:
+        self.left._collect_columns(out)
+        self.right._collect_columns(out)
+
+    def _collect_aggs(self, out: list) -> None:
+        self.left._collect_aggs(out)
+        self.right._collect_aggs(out)
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str
+    operand: Expr
+
+    def eval(self, row: dict) -> Any:
+        value = self.operand.eval(row)
+        if self.op == "not":
+            return not bool(value)
+        if self.op == "-":
+            return -value if value is not None else None
+        raise ValueError(f"unknown unary {self.op!r}")
+
+    def _collect_columns(self, out: list) -> None:
+        self.operand._collect_columns(out)
+
+    def _collect_aggs(self, out: list) -> None:
+        self.operand._collect_aggs(out)
+
+
+@dataclass
+class FuncCall(Expr):
+    name: str
+    args: list[Expr]
+    distinct: bool = False
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.name in AGGREGATE_FUNCS
+
+    def eval(self, row: dict) -> Any:
+        if self.is_aggregate:
+            # Aggregates are computed by the Aggregate operator; after
+            # aggregation the value lives in the row under agg_key.
+            return row[self.agg_key()]
+        fn = SCALAR_FUNCS.get(self.name)
+        if fn is None:
+            raise ValueError(f"unknown function {self.name!r}")
+        return fn(*(a.eval(row) for a in self.args))
+
+    def agg_key(self) -> str:
+        arg = "*" if (not self.args or isinstance(self.args[0], Star)) \
+            else _expr_repr(self.args[0])
+        d = "distinct " if self.distinct else ""
+        return f"{self.name}({d}{arg})"
+
+    def _collect_columns(self, out: list) -> None:
+        for a in self.args:
+            a._collect_columns(out)
+
+    def _collect_aggs(self, out: list) -> None:
+        if self.is_aggregate:
+            out.append(self)
+        else:
+            for a in self.args:
+                a._collect_aggs(out)
+
+
+@dataclass
+class InList(Expr):
+    expr: Expr
+    values: list[Expr]
+    negated: bool = False
+
+    def eval(self, row: dict) -> Any:
+        value = self.expr.eval(row)
+        result = value in {v.eval(row) for v in self.values}
+        return (not result) if self.negated else result
+
+    def _collect_columns(self, out: list) -> None:
+        self.expr._collect_columns(out)
+        for v in self.values:
+            v._collect_columns(out)
+
+
+@dataclass
+class Between(Expr):
+    expr: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def eval(self, row: dict) -> Any:
+        value = self.expr.eval(row)
+        if value is None:
+            return False
+        result = self.low.eval(row) <= value <= self.high.eval(row)
+        return (not result) if self.negated else result
+
+    def _collect_columns(self, out: list) -> None:
+        self.expr._collect_columns(out)
+        self.low._collect_columns(out)
+        self.high._collect_columns(out)
+
+
+@dataclass
+class CaseWhen(Expr):
+    """CASE WHEN cond THEN value [...] [ELSE default] END."""
+
+    branches: list   # [(condition Expr, value Expr), ...]
+    default: Optional[Expr] = None
+
+    def eval(self, row: dict) -> Any:
+        for condition, value in self.branches:
+            if condition.eval(row):
+                return value.eval(row)
+        return self.default.eval(row) if self.default is not None else None
+
+    def _collect_columns(self, out: list) -> None:
+        for condition, value in self.branches:
+            condition._collect_columns(out)
+            value._collect_columns(out)
+        if self.default is not None:
+            self.default._collect_columns(out)
+
+    def _collect_aggs(self, out: list) -> None:
+        for condition, value in self.branches:
+            condition._collect_aggs(out)
+            value._collect_aggs(out)
+        if self.default is not None:
+            self.default._collect_aggs(out)
+
+
+@dataclass
+class Like(Expr):
+    expr: Expr
+    pattern: str
+    negated: bool = False
+
+    def __post_init__(self):
+        regex = re.escape(self.pattern).replace("%", ".*").replace("_", ".")
+        self._re = re.compile(f"^{regex}$")
+
+    def eval(self, row: dict) -> Any:
+        value = self.expr.eval(row)
+        result = bool(
+            isinstance(value, str) and self._re.match(value)
+        )
+        return (not result) if self.negated else result
+
+    def _collect_columns(self, out: list) -> None:
+        self.expr._collect_columns(out)
+
+
+def _expr_repr(expr: Expr) -> str:
+    if isinstance(expr, Column):
+        return expr.key or expr.display()
+    if isinstance(expr, Literal):
+        return repr(expr.value)
+    if isinstance(expr, BinaryOp):
+        return f"({_expr_repr(expr.left)}{expr.op}{_expr_repr(expr.right)})"
+    if isinstance(expr, UnaryOp):
+        return f"({expr.op} {_expr_repr(expr.operand)})"
+    if isinstance(expr, FuncCall):
+        inner = ",".join(_expr_repr(a) for a in expr.args)
+        return f"{expr.name}({inner})"
+    if isinstance(expr, Star):
+        return "*"
+    return repr(expr)
+
+
+# ---------------------------------------------------------------- query AST
+@dataclass
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, Column):
+            return self.expr.name
+        if isinstance(self.expr, FuncCall) and self.expr.is_aggregate:
+            return self.expr.agg_key()
+        return _expr_repr(self.expr)
+
+
+@dataclass
+class TableRef:
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass
+class JoinClause:
+    table: TableRef
+    left: Column
+    right: Column
+    how: str = "inner"   # inner | left
+
+
+@dataclass
+class Query:
+    select: list[SelectItem]
+    table: TableRef
+    joins: list[JoinClause] = field(default_factory=list)
+    where: Optional[Expr] = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    order_by: list[tuple[Expr, bool]] = field(default_factory=list)
+    limit: Optional[int] = None
+    distinct: bool = False

@@ -1,0 +1,120 @@
+"""Hive metastore: table schemas, storage locations, statistics.
+
+Tables live in the simulated HDFS as files of tuples; the catalog maps
+names to schemas so scans can produce qualified row dicts. Partitioned
+tables map partition values to separate paths — the unit of dynamic
+partition pruning (paper 3.5 / 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+__all__ = ["TableMeta", "Catalog"]
+
+
+@dataclass
+class TableMeta:
+    name: str
+    columns: list[str]
+    path: Optional[str] = None                 # unpartitioned location
+    partition_column: Optional[str] = None
+    partitions: dict = field(default_factory=dict)  # value -> path
+    row_count: int = 0
+    row_bytes: int = 64
+
+    def __post_init__(self):
+        if self.path is None and not self.partitions:
+            raise ValueError(f"table {self.name}: no storage location")
+        if self.partitions and self.partition_column is None:
+            raise ValueError(
+                f"table {self.name}: partitions require a partition column"
+            )
+        if len(set(self.columns)) != len(self.columns):
+            raise ValueError(f"table {self.name}: duplicate columns")
+
+    @property
+    def total_bytes(self) -> int:
+        return self.row_count * self.row_bytes
+
+    def paths(self, partition_values: Optional[Sequence[Any]] = None) -> list[str]:
+        if self.partitions:
+            if partition_values is None:
+                return [self.partitions[k] for k in sorted(self.partitions)]
+            return [
+                self.partitions[v]
+                for v in sorted(set(partition_values))
+                if v in self.partitions
+            ]
+        return [self.path]
+
+    def column_index(self, column: str) -> int:
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise KeyError(
+                f"table {self.name} has no column {column!r}"
+            ) from None
+
+
+class Catalog:
+    def __init__(self):
+        self._tables: dict[str, TableMeta] = {}
+
+    def register(self, table: TableMeta) -> TableMeta:
+        if table.name in self._tables:
+            raise ValueError(f"table {table.name!r} already registered")
+        self._tables[table.name] = table
+        return table
+
+    def get(self, name: str) -> TableMeta:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(f"unknown table {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def tables(self) -> list[str]:
+        return sorted(self._tables)
+
+    def create_table(
+        self,
+        hdfs,
+        name: str,
+        columns: list[str],
+        rows: list[tuple],
+        row_bytes: int = 64,
+        partition_column: Optional[str] = None,
+        base_path: Optional[str] = None,
+    ) -> TableMeta:
+        """Write rows into HDFS and register the table (optionally
+        split into per-partition files on ``partition_column``)."""
+        base_path = base_path or f"/warehouse/{name}"
+        if partition_column is None:
+            hdfs.write(base_path, rows, record_bytes=row_bytes,
+                       overwrite=True)
+            table = TableMeta(
+                name=name, columns=columns, path=base_path,
+                row_count=len(rows), row_bytes=row_bytes,
+            )
+        else:
+            idx = columns.index(partition_column)
+            by_value: dict = {}
+            for row in rows:
+                by_value.setdefault(row[idx], []).append(row)
+            partitions = {}
+            for value in sorted(by_value):
+                path = f"{base_path}/{partition_column}={value}"
+                hdfs.write(path, by_value[value], record_bytes=row_bytes,
+                           overwrite=True)
+                partitions[value] = path
+            table = TableMeta(
+                name=name, columns=columns,
+                partition_column=partition_column,
+                partitions=partitions,
+                row_count=len(rows), row_bytes=row_bytes,
+            )
+        return self.register(table)

@@ -1,0 +1,348 @@
+"""Hive → MapReduce compiler: the paper's baseline execution path.
+
+Faithful to pre-Tez Hive: every distributed boundary (join, group-by,
+order-by) becomes a separate MapReduce job, and every job materializes
+its output to replicated HDFS for the next job's mappers to re-read.
+Joins are reduce-side (shuffle) joins with input-path-aware mappers
+tagging each side; there is no broadcast edge, no dynamic partition
+pruning, no container reuse — the "restricted expressiveness of
+MapReduce" the paper describes in 5.2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..mapreduce.model import MRJob
+from .fragments import (
+    InputLeaf,
+    execute_fragment,
+    merge_aggregate_groups,
+    partial_aggregate,
+    rows_from_tuples,
+    rows_to_tuples,
+)
+from .plan import (
+    Aggregate,
+    Filter,
+    Join,
+    Limit,
+    PlanNode,
+    Project,
+    Scan,
+    Sort,
+)
+from .reference import sort_rows
+
+__all__ = ["MRCompiler", "HiveMRConfig", "CompiledMRQuery"]
+
+
+@dataclass
+class HiveMRConfig:
+    bytes_per_reducer: int = 64 * 1024 * 1024
+    max_reducers: int = 64
+    tmp_path: str = "/tmp/hive_mr"
+
+
+class _Pending:
+    """Work still to be done on the map side of the *next* job.
+
+    ``inputs`` is a list of (paths, decoder, fragment-leaf-name); the
+    fragment runs over the union of the decoded inputs.
+    """
+
+    def __init__(self, inputs: list[tuple[list[str], Callable, str]],
+                 fragment: PlanNode, est_bytes: float,
+                 est_row_bytes: float):
+        self.inputs = inputs
+        self.fragment = fragment
+        self.est_bytes = est_bytes
+        self.est_row_bytes = est_row_bytes
+
+
+@dataclass
+class CompiledMRQuery:
+    jobs: list[MRJob]
+    output_path: str
+    columns: list[str]
+
+
+class MRCompiler:
+    def __init__(self, catalog, config: Optional[HiveMRConfig] = None):
+        self.catalog = catalog
+        self.config = config or HiveMRConfig()
+        self._seq = itertools.count(1)
+        self._jobs: list[MRJob] = []
+        self._query_id = 0
+
+    # ----------------------------------------------------------- public
+    def compile(self, plan: PlanNode, query_name: str,
+                output_path: Optional[str] = None) -> CompiledMRQuery:
+        self._jobs = []
+        self._query_id += 1
+        self._tmp_base = f"{self.config.tmp_path}/{query_name}_{self._query_id}"
+        output_path = output_path or f"{self._tmp_base}/final"
+        pending = self._build(plan)
+        columns = plan.output_columns()
+        self._finalize(pending, output_path, columns)
+        return CompiledMRQuery(list(self._jobs), output_path, columns)
+
+    # -------------------------------------------------------- utilities
+    def _tmp(self, label: str) -> str:
+        return f"{self._tmp_base}/{label}_{next(self._seq)}"
+
+    def _reducers(self, est_bytes: float) -> int:
+        import math
+        return max(1, min(
+            self.config.max_reducers,
+            math.ceil(est_bytes / self.config.bytes_per_reducer),
+        ))
+
+    def _make_mapper(self, decoder: Callable, fragment: PlanNode,
+                     leaf: str, emit: Callable) -> Callable:
+        def mapper(records):
+            rows = execute_fragment(fragment, {leaf: decoder(records)})
+            return emit(rows)
+        mapper.batch = True   # split-at-a-time, like Hive's operator tree
+        return mapper
+
+    # ------------------------------------------------------- compilation
+    def _build(self, node: PlanNode) -> _Pending:
+        if isinstance(node, Scan):
+            paths = (
+                node.table.paths(node.partition_values)
+                if node.table.partitions else [node.table.path]
+            )
+            alias = node.alias
+            all_columns = list(node.table.columns)
+            needed = list(node.needed_columns) \
+                if node.needed_columns is not None else None
+
+            def decoder(records, _a=alias, _c=all_columns, _n=needed):
+                return rows_from_tuples(records, _a, _c, _n)
+
+            leaf = f"scan_{alias}"
+            return _Pending(
+                [(paths, decoder, leaf)], InputLeaf(leaf),
+                node.estimated_bytes, node.estimated_row_bytes,
+            )
+        if isinstance(node, Filter):
+            pending = self._build(node.child)
+            pending.fragment = Filter(pending.fragment, node.predicate)
+            return pending
+        if isinstance(node, Project):
+            pending = self._build(node.child)
+            pending.fragment = Project(pending.fragment, node.items)
+            return pending
+        if isinstance(node, Join):
+            return self._build_join(node)
+        if isinstance(node, Aggregate):
+            return self._build_aggregate(node)
+        if isinstance(node, Sort):
+            return self._build_sort(node, limit=None)
+        if isinstance(node, Limit):
+            if isinstance(node.child, Sort):
+                return self._build_sort(node.child, limit=node.n)
+            return self._build_generic_limit(node)
+        raise TypeError(f"cannot compile {type(node).__name__}")
+
+    def _job(self, name: str, pending: _Pending, emit: Callable,
+             reducer: Callable, num_reducers: int, out: str,
+             out_bytes: int) -> None:
+        """One MR job: pending map-side work + a reduce function."""
+        path_mappers: dict[str, Callable] = {}
+        input_paths: list[str] = []
+        for paths, decoder, leaf in pending.inputs:
+            mapper = self._make_mapper(
+                decoder, pending.fragment, leaf, emit
+            )
+            for path in paths:
+                path_mappers[path] = mapper
+                input_paths.append(path)
+        job = MRJob(
+            name=f"{name}_{next(self._seq)}",
+            input_paths=input_paths,
+            output_path=out,
+            mapper=next(iter(path_mappers.values())),
+            reducer=reducer,
+            num_reducers=num_reducers,
+            output_record_bytes=out_bytes,
+        )
+        job.path_mappers = path_mappers
+        self._jobs.append(job)
+
+    def _build_join(self, node: Join) -> _Pending:
+        left = self._build(node.left)
+        right = self._build(node.right)
+        out = self._tmp("join")
+        est = node.left.estimated_bytes + node.right.estimated_bytes
+        reducers = self._reducers(est)
+        lk, rk = node.left_key, node.right_key
+        how = node.how
+        join_right_cols = node.right.output_columns()
+
+        # Tag each side in the map output so the reducer can split.
+        def make_emit(tag, key_expr):
+            def emit(rows, _t=tag, _k=key_expr):
+                return [(_k.eval(row), (_t, row)) for row in rows]
+            return emit
+
+        def reducer(key, tagged, _rc=join_right_cols):
+            left_rows = [row for t, row in tagged if t == "L"]
+            right_rows = [row for t, row in tagged if t == "R"]
+            right_cols = _rc
+            out_rows = []
+            for lrow in left_rows:
+                if right_rows:
+                    for rrow in right_rows:
+                        merged = dict(lrow)
+                        merged.update(rrow)
+                        out_rows.append(merged)
+                elif how == "left":
+                    merged = dict(lrow)
+                    merged.update({c: None for c in right_cols})
+                    out_rows.append(merged)
+            return out_rows
+
+        path_mappers: dict[str, Callable] = {}
+        input_paths: list[str] = []
+        for pending, tag, key in ((left, "L", lk), (right, "R", rk)):
+            emit = make_emit(tag, key)
+            for paths, decoder, leaf in pending.inputs:
+                mapper = self._make_mapper(
+                    decoder, pending.fragment, leaf, emit
+                )
+                for path in paths:
+                    path_mappers[path] = mapper
+                    input_paths.append(path)
+        row_bytes = int(node.estimated_row_bytes) or 64
+        job = MRJob(
+            name=f"join_{next(self._seq)}",
+            input_paths=input_paths,
+            output_path=out,
+            mapper=next(iter(path_mappers.values())),
+            reducer=reducer,
+            num_reducers=reducers,
+            output_record_bytes=row_bytes,
+        )
+        job.path_mappers = path_mappers
+        self._jobs.append(job)
+        leaf = f"joined_{next(self._seq)}"
+        return _Pending(
+            [([out], lambda records: list(records), leaf)],
+            InputLeaf(leaf), node.estimated_bytes, row_bytes,
+        )
+
+    def _build_aggregate(self, node: Aggregate) -> _Pending:
+        pending = self._build(node.child)
+        out = self._tmp("agg")
+        group_items, aggs = node.group_items, node.aggs
+        reducers = 1 if not group_items else self._reducers(
+            max(node.estimated_bytes, node.child.estimated_bytes / 4)
+        )
+
+        def emit(rows, _g=group_items, _a=aggs):
+            return partial_aggregate(rows, _g, _a)
+
+        def reducer(group_key, states, _g=group_items, _a=aggs):
+            return merge_aggregate_groups(
+                [(group_key, states)], _g, _a,
+            )
+
+        def combiner(group_key, states, _a=aggs):
+            # Map-side combining: merge partial states per group.
+            from .aggregates import agg_merge
+            merged = list(states[0])
+            for state in states[1:]:
+                merged = [
+                    agg_merge(a, m, s)
+                    for a, m, s in zip(_a, merged, state)
+                ]
+            return [(group_key, tuple(merged))]
+
+        row_bytes = int(node.estimated_row_bytes) or 32
+        self._job("agg", pending, emit, reducer, reducers, out,
+                  row_bytes)
+        self._jobs[-1].combiner = combiner
+        # Global aggregates over empty input: handled at finalize by
+        # the reference semantics (rare; acceptable divergence).
+        leaf = f"agged_{next(self._seq)}"
+        return _Pending(
+            [([out], lambda records: list(records), leaf)],
+            InputLeaf(leaf), node.estimated_bytes, row_bytes,
+        )
+
+    def _build_sort(self, node: Sort, limit: Optional[int]) -> _Pending:
+        pending = self._build(node.child)
+        out = self._tmp("sort")
+        keys = node.keys
+
+        def emit(rows, _k=keys, _l=limit):
+            ordered = sort_rows(rows, _k)
+            if _l is not None:
+                ordered = ordered[:_l]
+            return [(0, row) for row in ordered]
+
+        def reducer(_key, rows, _k=keys, _l=limit):
+            ordered = sort_rows(list(rows), _k)
+            if _l is not None:
+                ordered = ordered[:_l]
+            return ordered
+
+        row_bytes = int(node.estimated_row_bytes) or 64
+        self._job("sort", pending, emit, reducer, 1, out, row_bytes)
+        leaf = f"sorted_{next(self._seq)}"
+        return _Pending(
+            [([out], lambda records: list(records), leaf)],
+            InputLeaf(leaf), node.estimated_bytes, row_bytes,
+        )
+
+    def _build_generic_limit(self, node: Limit) -> _Pending:
+        pending = self._build(node.child)
+        out = self._tmp("limit")
+        n = node.n
+
+        def emit(rows, _n=n):
+            return [(0, row) for row in rows[:_n]]
+
+        def reducer(_key, rows, _n=n):
+            return list(rows)[:_n]
+
+        row_bytes = int(node.estimated_row_bytes) or 64
+        self._job("limit", pending, emit, reducer, 1, out, row_bytes)
+        leaf = f"limited_{next(self._seq)}"
+        return _Pending(
+            [([out], lambda records: list(records), leaf)],
+            InputLeaf(leaf), node.estimated_bytes, row_bytes,
+        )
+
+    def _finalize(self, pending: _Pending, output_path: str,
+                  columns: list[str]) -> None:
+        """Map-only job converting final rows to output tuples."""
+        def emit(rows, _c=columns):
+            return rows_to_tuples(rows, _c)
+
+        trivial = (
+            isinstance(pending.fragment, InputLeaf)
+            and len(pending.inputs) == 1
+        )
+        if trivial and self._jobs:
+            # The previous job's reducer output is already the result
+            # rows; rewrite that job to emit tuples straight into the
+            # final location (Hive's "move task" — no extra job).
+            last = self._jobs[-1]
+            prev_reducer = last.reducer
+
+            def final_reducer(key, values, _r=prev_reducer, _c=columns):
+                return rows_to_tuples(list(_r(key, values)), _c)
+
+            last.reducer = final_reducer
+            last.output_path = output_path
+            return
+        self._job(
+            "final", pending, lambda rows: emit(rows),
+            reducer=None, num_reducers=0, out=output_path,
+            out_bytes=int(pending.est_row_bytes) or 64,
+        )

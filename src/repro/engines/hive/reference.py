@@ -1,0 +1,129 @@
+"""In-memory reference executor for logical plans.
+
+Runs a plan directly against HDFS table data with plain Python — no
+simulation, no distribution. Exists for differential testing: the Tez
+and MapReduce backends must produce exactly these rows.
+"""
+
+from __future__ import annotations
+
+from functools import cmp_to_key
+from typing import Any
+
+from ...shuffle.sorter import sort_key
+from .aggregates import agg_final, agg_init, agg_input, agg_update
+from .plan import (
+    Aggregate,
+    Filter,
+    Join,
+    Limit,
+    PlanNode,
+    Project,
+    Scan,
+    Sort,
+)
+
+__all__ = ["execute_plan", "scan_rows", "run_aggregate", "sort_rows"]
+
+
+def scan_rows(scan: Scan, hdfs) -> list[dict]:
+    """Materialize a scan: qualified row dicts from HDFS tuples."""
+    table = scan.table
+    cols = scan.needed_columns if scan.needed_columns is not None \
+        else table.columns
+    indices = [table.column_index(c) for c in cols]
+    keys = [f"{scan.alias}.{c}" for c in cols]
+    rows: list[dict] = []
+    for path in table.paths(scan.partition_values):
+        for record in hdfs.read_file(path):
+            rows.append({k: record[i] for k, i in zip(keys, indices)})
+    return rows
+
+
+def run_aggregate(node: Aggregate, rows: list[dict]) -> list[dict]:
+    """Full (non-partial) aggregation of rows."""
+    groups: dict[tuple, list[Any]] = {}
+    group_values: dict[tuple, tuple] = {}
+    for row in rows:
+        key_vals = tuple(e.eval(row) for _n, e in node.group_items)
+        key = tuple(sort_key(v) for v in key_vals)
+        state = groups.get(key)
+        if state is None:
+            state = [agg_init(a) for a in node.aggs]
+            groups[key] = state
+            group_values[key] = key_vals
+        for i, agg in enumerate(node.aggs):
+            state[i] = agg_update(agg, state[i], agg_input(agg, row))
+    if not groups and not node.group_items:
+        # Global aggregate over empty input still yields one row.
+        groups[()] = [agg_init(a) for a in node.aggs]
+        group_values[()] = ()
+    out: list[dict] = []
+    for key, state in groups.items():
+        row = {
+            name: value
+            for (name, _e), value in zip(node.group_items,
+                                         group_values[key])
+        }
+        for agg, s in zip(node.aggs, state):
+            row[agg.agg_key()] = agg_final(agg, s)
+        out.append(row)
+    return out
+
+
+def sort_rows(rows: list[dict], keys: list[tuple[str, bool]]) -> list[dict]:
+    out = list(rows)
+    for name, asc in reversed(keys):
+        out.sort(key=lambda r: sort_key(r[name]), reverse=not asc)
+    return out
+
+
+def _hash_join(node: Join, left_rows: list[dict],
+               right_rows: list[dict]) -> list[dict]:
+    build: dict[Any, list[dict]] = {}
+    for row in right_rows:
+        key = sort_key(node.right_key.eval(row))
+        build.setdefault(key, []).append(row)
+    right_columns = node.right.output_columns()
+    out: list[dict] = []
+    for row in left_rows:
+        key = sort_key(node.left_key.eval(row))
+        matches = build.get(key, [])
+        if matches:
+            for match in matches:
+                merged = dict(row)
+                merged.update(match)
+                out.append(merged)
+        elif node.how == "left":
+            merged = dict(row)
+            merged.update({c: None for c in right_columns})
+            out.append(merged)
+    return out
+
+
+def execute_plan(node: PlanNode, hdfs) -> list[dict]:
+    if isinstance(node, Scan):
+        return scan_rows(node, hdfs)
+    if isinstance(node, Filter):
+        rows = execute_plan(node.child, hdfs)
+        return [r for r in rows if node.predicate.eval(r)]
+    if isinstance(node, Project):
+        rows = execute_plan(node.child, hdfs)
+        return [
+            {name: expr.eval(r) for name, expr in node.items}
+            for r in rows
+        ]
+    if isinstance(node, Join):
+        left = execute_plan(node.left, hdfs)
+        right = execute_plan(node.right, hdfs)
+        return _hash_join(node, left, right)
+    if isinstance(node, Aggregate):
+        rows = execute_plan(node.child, hdfs)
+        return run_aggregate(node, rows)
+    if isinstance(node, Sort):
+        rows = execute_plan(node.child, hdfs)
+        return sort_rows(rows, node.keys)
+    if isinstance(node, Limit):
+        rows = execute_plan(node.child, hdfs)
+        return rows[: node.n]
+    raise TypeError(f"unknown plan node {type(node).__name__}")

@@ -1,0 +1,19 @@
+"""MapReduce: the job model, the native YARN baseline runner, the
+MR-on-Tez runner (paper 5.1) and workflow stitching (paper section 7)."""
+
+from .model import JobResult, MRJob
+from .stitcher import StitchError, run_stitched, stitch_pipeline
+from .tez_runner import MapReduceTezRunner, mrjob_to_dag
+from .yarn_runner import JobHandle, MapReduceYarnRunner
+
+__all__ = [
+    "JobHandle",
+    "JobResult",
+    "MRJob",
+    "MapReduceTezRunner",
+    "MapReduceYarnRunner",
+    "StitchError",
+    "mrjob_to_dag",
+    "run_stitched",
+    "stitch_pipeline",
+]

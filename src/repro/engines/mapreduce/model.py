@@ -1,0 +1,58 @@
+"""The MapReduce job model (paper 5.1).
+
+``MRJob`` captures the classic contract: a mapper over input records, a
+sorted & partitioned shuffle, and a reducer over grouped keys. Jobs can
+be chained into pipelines (each stage writing HDFS) — exactly the shape
+Hive/Pig emitted before Tez.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = ["MRJob", "JobResult"]
+
+# mapper(record) -> iterable[(k, v)]
+Mapper = Callable[[Any], Iterable[tuple]]
+# reducer(key, [values]) -> iterable[record]
+Reducer = Callable[[Any, list], Iterable[Any]]
+
+
+@dataclass
+class MRJob:
+    name: str
+    input_paths: list[str]
+    output_path: str
+    mapper: Mapper
+    reducer: Optional[Reducer] = None          # None -> map-only job
+    combiner: Optional[Reducer] = None
+    num_reducers: int = 1
+    map_cpu_per_record: float = 1.0e-6
+    reduce_cpu_per_record: float = 1.0e-6
+    output_record_bytes: Optional[int] = None
+    reduce_slowstart: float = 0.05             # Hadoop default
+    partitioner: Optional[Any] = None          # default: stable hash
+    descending_sort: bool = False              # custom key comparator
+
+    def __post_init__(self):
+        if self.reducer is None:
+            self.num_reducers = 0
+        elif self.num_reducers < 1:
+            raise ValueError("num_reducers must be >= 1 with a reducer")
+        if not self.input_paths:
+            raise ValueError("input_paths must be non-empty")
+
+
+@dataclass
+class JobResult:
+    name: str
+    succeeded: bool
+    start_time: float
+    finish_time: float
+    diagnostics: str = ""
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def elapsed(self) -> float:
+        return self.finish_time - self.start_time

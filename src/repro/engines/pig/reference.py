@@ -1,0 +1,216 @@
+"""In-memory reference executor for Pig scripts (differential tests)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...shuffle.sorter import sort_key
+from .model import PigScript, Relation
+
+__all__ = ["execute_script", "apply_aggregate"]
+
+_AGG_INIT = {
+    "count": lambda: 0,
+    "sum": lambda: None,
+    "avg": lambda: (0.0, 0),
+    "min": lambda: None,
+    "max": lambda: None,
+}
+
+
+def agg_step(func: str, state: Any, value: Any) -> Any:
+    if func == "count":
+        return state + 1
+    if value is None:
+        return state
+    if func == "sum":
+        return value if state is None else state + value
+    if func == "avg":
+        return (state[0] + value, state[1] + 1)
+    if func == "min":
+        return value if state is None or value < state else state
+    if func == "max":
+        return value if state is None or value > state else state
+    raise ValueError(func)
+
+
+def agg_combine(func: str, a: Any, b: Any) -> Any:
+    if func == "count":
+        return a + b
+    if func == "avg":
+        return (a[0] + b[0], a[1] + b[1])
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if func == "sum":
+        return a + b
+    if func == "min":
+        return min(a, b)
+    if func == "max":
+        return max(a, b)
+    raise ValueError(func)
+
+
+def agg_result(func: str, state: Any) -> Any:
+    if func == "avg":
+        total, n = state
+        return total / n if n else None
+    return state
+
+
+def apply_aggregate(rows: list[dict], keys: list[str],
+                    aggs: dict[str, tuple[str, Any]]) -> list[dict]:
+    groups: dict[tuple, dict] = {}
+    raw: dict[tuple, tuple] = {}
+    for row in rows:
+        values = tuple(row[k] for k in keys)
+        gkey = tuple(sort_key(v) for v in values)
+        state = groups.get(gkey)
+        if state is None:
+            state = {out: _AGG_INIT[f]() for out, (f, _c) in aggs.items()}
+            groups[gkey] = state
+            raw[gkey] = values
+        for out, (func, field) in aggs.items():
+            value = 1 if field is None else row[field]
+            state[out] = agg_step(func, state[out], value)
+    out_rows = []
+    for gkey, state in groups.items():
+        row = dict(zip(keys, raw[gkey]))
+        for out, (func, _f) in aggs.items():
+            row[out] = agg_result(func, state[out])
+        out_rows.append(row)
+    return out_rows
+
+
+def partial_aggregate_states(rows: list[dict], keys: list[str],
+                             aggs: dict) -> list[tuple]:
+    """Map-side partial aggregation: [(key_values, state_tuple)]."""
+    groups: dict[tuple, list] = {}
+    raw: dict[tuple, tuple] = {}
+    agg_items = list(aggs.items())
+    for row in rows:
+        values = tuple(row[k] for k in keys)
+        gkey = tuple(sort_key(v) for v in values)
+        state = groups.get(gkey)
+        if state is None:
+            state = [_AGG_INIT[f]() for _o, (f, _c) in agg_items]
+            groups[gkey] = state
+            raw[gkey] = values
+        for i, (_out, (func, field)) in enumerate(agg_items):
+            value = 1 if field is None else row[field]
+            state[i] = agg_step(func, state[i], value)
+    return [(raw[g], tuple(state)) for g, state in groups.items()]
+
+
+def merge_aggregate_states(grouped: list[tuple], keys: list[str],
+                           aggs: dict) -> list[dict]:
+    """Reduce-side merge of partial states into final rows."""
+    agg_items = list(aggs.items())
+    out = []
+    for key_values, states in grouped:
+        merged = list(states[0])
+        for state in states[1:]:
+            merged = [
+                agg_combine(func, m, s)
+                for (_o, (func, _f)), m, s in zip(agg_items, merged, state)
+            ]
+        row = dict(zip(keys, key_values))
+        for (out_name, (func, _f)), state in zip(agg_items, merged):
+            row[out_name] = agg_result(func, state)
+        out.append(row)
+    return out
+
+
+def _eval(rel: Relation, hdfs, cache: dict) -> list[dict]:
+    if id(rel) in cache:
+        return cache[id(rel)]
+    p = rel.params
+    if rel.op == "load":
+        records = hdfs.read_file(p["path"])
+        rows = [dict(zip(rel.schema, rec)) for rec in records]
+    elif rel.op == "filter":
+        rows = [r for r in _eval(rel.parents[0], hdfs, cache)
+                if p["predicate"](r)]
+    elif rel.op == "foreach":
+        rows = [p["fn"](r) for r in _eval(rel.parents[0], hdfs, cache)]
+    elif rel.op == "flatten":
+        rows = [
+            out
+            for r in _eval(rel.parents[0], hdfs, cache)
+            for out in p["fn"](r)
+        ]
+    elif rel.op == "group":
+        groups: dict = {}
+        raw: dict = {}
+        for r in _eval(rel.parents[0], hdfs, cache):
+            values = tuple(r[k] for k in p["keys"])
+            gkey = tuple(sort_key(v) for v in values)
+            groups.setdefault(gkey, []).append(r)
+            raw[gkey] = values
+        rows = [
+            {"group": raw[g] if len(p["keys"]) > 1 else raw[g][0],
+             "bag": bag}
+            for g, bag in groups.items()
+        ]
+    elif rel.op == "aggregate":
+        rows = apply_aggregate(
+            _eval(rel.parents[0], hdfs, cache), p["keys"], p["aggs"]
+        )
+    elif rel.op == "join":
+        left = _eval(rel.parents[0], hdfs, cache)
+        right = _eval(rel.parents[1], hdfs, cache)
+        build: dict = {}
+        for r in right:
+            key = tuple(sort_key(r[k]) for k in p["right_keys"])
+            build.setdefault(key, []).append(r)
+        right_only = [c for c in rel.parents[1].schema
+                      if c not in rel.parents[0].schema]
+        rows = []
+        for l in left:
+            key = tuple(sort_key(l[k]) for k in p["left_keys"])
+            matches = build.get(key, [])
+            if matches:
+                for m in matches:
+                    merged = dict(l)
+                    merged.update({c: m[c] for c in right_only})
+                    rows.append(merged)
+            elif p["how"] == "left":
+                merged = dict(l)
+                merged.update({c: None for c in right_only})
+                rows.append(merged)
+    elif rel.op == "union":
+        rows = (
+            _eval(rel.parents[0], hdfs, cache)
+            + _eval(rel.parents[1], hdfs, cache)
+        )
+    elif rel.op == "distinct":
+        seen = set()
+        rows = []
+        for r in _eval(rel.parents[0], hdfs, cache):
+            key = tuple(sort_key(r[c]) for c in rel.schema)
+            if key not in seen:
+                seen.add(key)
+                rows.append(r)
+    elif rel.op == "order":
+        rows = sorted(
+            _eval(rel.parents[0], hdfs, cache),
+            key=lambda r: tuple(sort_key(r[k]) for k in p["keys"]),
+            reverse=not p["ascending"],
+        )
+    elif rel.op == "limit":
+        rows = _eval(rel.parents[0], hdfs, cache)[: p["n"]]
+    else:
+        raise ValueError(f"unknown op {rel.op}")
+    cache[id(rel)] = rows
+    return rows
+
+
+def execute_script(script: PigScript, hdfs) -> dict[str, list[dict]]:
+    """Evaluate all stores; returns {store path: rows}."""
+    script.validate()
+    cache: dict = {}
+    return {
+        path: _eval(rel, hdfs, cache)
+        for rel, path in script.stores
+    }

@@ -1,0 +1,15 @@
+"""Mini-Spark (paper 5.4): RDD lineage on service or Tez backends."""
+
+from .context import SparkContext
+from .rdd import RDD, Stage, compile_stages
+from .service_backend import SparkServiceBackend
+from .tez_backend import SparkTezBackend
+
+__all__ = [
+    "RDD",
+    "SparkContext",
+    "SparkServiceBackend",
+    "SparkTezBackend",
+    "Stage",
+    "compile_stages",
+]

@@ -1,0 +1,108 @@
+"""SparkContext: the user-facing entry point for the mini-Spark engine."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generator, Optional
+
+from .rdd import RDD, compile_stages
+from .service_backend import SparkServiceBackend
+from .tez_backend import SparkTezBackend
+
+__all__ = ["SparkContext"]
+
+
+class SparkContext:
+    """Builds RDDs and runs actions on a chosen backend.
+
+    ``backend="service"`` models Spark's own long-lived-executor engine
+    on YARN; ``backend="tez"`` runs the identical stage graphs through
+    a Tez session with ephemeral tasks (paper 5.4).
+    """
+
+    def __init__(self, sim, backend: str = "tez",
+                 default_parallelism: int = 4, queue: str = "default",
+                 num_executors: int = 4, executor_cores: int = 2,
+                 executor_mb: int = 2048, app_name: str = "spark",
+                 prewarm: int = 0):
+        self.sim = sim
+        self.default_parallelism = default_parallelism
+        self.app_name = app_name
+        self._job_seq = itertools.count(1)
+        if backend == "tez":
+            self.backend = SparkTezBackend(sim, queue=queue,
+                                           prewarm=prewarm)
+        elif backend == "service":
+            self.backend = SparkServiceBackend(
+                sim, num_executors=num_executors,
+                executor_cores=executor_cores, executor_mb=executor_mb,
+                queue=queue,
+            )
+        else:
+            raise ValueError(f"unknown backend {backend!r}")
+
+    # -------------------------------------------------------------- sources
+    def hdfs_file(self, path: str,
+                  num_partitions: Optional[int] = None) -> RDD:
+        return RDD(self, "source", [],
+                   num_partitions or self.default_parallelism, path=path)
+
+    # -------------------------------------------------------------- actions
+    def run_job(self, rdd: RDD, action: tuple) -> Generator:
+        """Process: execute an action; returns its result.
+
+        Cached ancestors (``rdd.cache()``) are materialized once — into
+        the HDFS in-memory tier — the first time an action needs them;
+        later jobs read the cache instead of recomputing the lineage
+        (the iterative-processing pattern of paper 5.4).
+        """
+        yield from self._materialize_caches(rdd)
+        stages, result = compile_stages(rdd)
+        name = f"{self.app_name}_job{next(self._job_seq)}"
+        value = yield from self.backend.run_job(
+            stages, result, action, name
+        )
+        return value
+
+    def _materialize_caches(self, rdd: RDD) -> Generator:
+        # Topological order, ancestors first, stopping at already
+        # materialized caches (they replace their whole sub-lineage).
+        order: list[RDD] = []
+        seen: set[int] = set()
+
+        def visit(node: RDD) -> None:
+            if id(node) in seen:
+                return
+            seen.add(id(node))
+            if node.cached and node._cache_path is not None:
+                return
+            for parent in node.parents:
+                visit(parent)
+            if node.cached and node._cache_path is None:
+                order.append(node)
+
+        visit(rdd)
+        for node in order:
+            path = f"/tmp/spark/cache/rdd_{node.rdd_id}"
+            stages, result = compile_stages(node)
+            name = f"{self.app_name}_cache{node.rdd_id}"
+            yield from self.backend.run_job(
+                stages, result, ("save", path), name
+            )
+            # Promote the materialization to the in-memory tier.
+            records = self.sim.hdfs.read_file(path)
+            self.sim.hdfs.write(path, records, overwrite=True,
+                                storage="memory")
+            node._cache_path = path
+
+    def run(self, action_generator):
+        """Drive an action (or any generator) to completion."""
+        proc = self.sim.env.process(action_generator)
+        self.sim.env.run(until=proc)
+        return proc.value
+
+    def start(self) -> None:
+        self.backend.start()
+
+    def stop(self) -> None:
+        self.backend.stop()

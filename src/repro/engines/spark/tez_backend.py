@@ -1,0 +1,189 @@
+"""Spark-on-Tez backend (paper 5.4).
+
+"We were able to encode the post-compilation Spark DAG into a Tez DAG
+and run it successfully in a YARN cluster that was not running the
+Spark engine service." Each action's stage graph becomes one Tez DAG
+submitted to a shared Tez session: ephemeral per-task containers,
+acquired and released as the job needs them — the multi-tenancy
+behaviour measured in Figures 12/13.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Generator, Optional
+
+from ...tez import (
+    DAG,
+    DataMovementType,
+    DataSinkDescriptor,
+    DataSourceDescriptor,
+    Descriptor,
+    Edge,
+    EdgeProperty,
+    ShuffleVertexManager,
+    ShuffleVertexManagerConfig,
+    TezClient,
+    Vertex,
+)
+from ...tez.library import (
+    FnProcessor,
+    HdfsInput,
+    HdfsInputInitializer,
+    HdfsOutput,
+    HdfsOutputCommitter,
+    UnorderedKVInput,
+    UnorderedPartitionedKVOutput,
+)
+from .rdd import Stage
+
+__all__ = ["SparkTezBackend"]
+
+
+class SparkTezBackend:
+    """Runs compiled stage graphs through a Tez session."""
+
+    def __init__(self, sim, queue: str = "default",
+                 tez_client: Optional[TezClient] = None,
+                 prewarm: int = 0):
+        self.sim = sim
+        self._client = tez_client
+        self._queue = queue
+        self._seq = itertools.count(1)
+        self._prewarm = prewarm
+        self.name = "tez"
+
+    @property
+    def client(self) -> TezClient:
+        if self._client is None:
+            self._client = self.sim.tez_client(
+                name="spark", session=True, queue=self._queue,
+            )
+            self._client.start()
+        return self._client
+
+    def start(self) -> None:
+        self.client  # touch: launches the session AM
+        if self._prewarm:
+            self.client.prewarm(self._prewarm)
+
+    def stop(self) -> None:
+        if self._client is not None:
+            self._client.stop()
+
+    def run_job(self, stages: list[Stage], result: Stage,
+                action: tuple, name: str) -> Generator:
+        dag, out_path = self._build_dag(stages, result, action, name)
+        status = yield from self.client.run_dag(dag)
+        if not status.succeeded:
+            raise RuntimeError(f"spark-on-tez failed: {status.diagnostics}")
+        kind, _arg = action
+        records = list(self.sim.hdfs.read_file(out_path))
+        if kind == "count":
+            return sum(n for _z, n in records)
+        if kind == "collect":
+            return records
+        return out_path
+
+    # ------------------------------------------------------------- compile
+    def _build_dag(self, stages: list[Stage], result: Stage,
+                   action: tuple, name: str) -> tuple[DAG, str]:
+        kind, arg = action
+        out_path = arg if kind == "save" else \
+            f"/tmp/spark/{name}_{next(self._seq)}"
+        dag = DAG(name)
+        vertices: dict[int, Vertex] = {}
+        consumers: dict[int, list[Stage]] = {}
+        for stage in stages:
+            for parent, _tag in stage.parents:
+                consumers.setdefault(parent.stage_id, []).append(stage)
+        for stage in stages:
+            fn = self._stage_fn(
+                stage, consumers.get(stage.stage_id, []),
+                is_result=stage is result, action=action,
+            )
+            parallelism = -1 if stage.sources else stage.num_partitions
+            manager = None
+            if stage.parents:
+                # Conservative slow-start: on the shared, contended
+                # clusters of the multi-tenancy experiments, eager
+                # out-of-order reducers just invite preemption.
+                manager = Descriptor(
+                    ShuffleVertexManager,
+                    ShuffleVertexManagerConfig(
+                        slowstart_min_fraction=0.8,
+                        slowstart_max_fraction=1.0,
+                    ),
+                )
+            vertex = Vertex(
+                f"stage_{stage.stage_id}",
+                Descriptor(FnProcessor, {"fn": fn}),
+                parallelism=parallelism,
+                vertex_manager=manager,
+            )
+            if stage.sources:
+                paths = list(dict.fromkeys(p for p, _t in stage.sources))
+                vertex.add_data_source("hdfs", DataSourceDescriptor(
+                    Descriptor(HdfsInput, {"with_paths": True}),
+                    Descriptor(HdfsInputInitializer, {"paths": paths}),
+                ))
+            if stage is result:
+                vertex.add_data_sink("out", DataSinkDescriptor(
+                    Descriptor(HdfsOutput, {"path": out_path}),
+                    Descriptor(HdfsOutputCommitter, {"path": out_path}),
+                ))
+            vertices[stage.stage_id] = vertex
+            dag.add_vertex(vertex)
+        for stage in stages:
+            for parent, _tag in stage.parents:
+                dag.add_edge(Edge(
+                    vertices[parent.stage_id], vertices[stage.stage_id],
+                    EdgeProperty(
+                        DataMovementType.SCATTER_GATHER,
+                        output_descriptor=Descriptor(
+                            UnorderedPartitionedKVOutput
+                        ),
+                        input_descriptor=Descriptor(UnorderedKVInput),
+                    ),
+                ))
+        return dag, out_path
+
+    def _stage_fn(self, stage: Stage, consumer_stages: list[Stage],
+                  is_result: bool, action: tuple) -> Callable:
+        sources = list(stage.sources)
+        parents = list(stage.parents)
+        compute = stage.compute
+        shuffle_emit = stage.shuffle_emit
+        kind, _arg = action
+
+        def fn(ctx, data):
+            inputs: dict[str, list] = {}
+            if sources:
+                tagged = data.get("hdfs", [])
+                by_path: dict[str, list] = {}
+                for path, record in tagged:
+                    by_path.setdefault(path, []).append(record)
+                for path, tag in sources:
+                    inputs[tag] = [
+                        r
+                        for p, rows in by_path.items()
+                        if p == path or p.startswith(f"{path}/")
+                        for r in rows
+                    ]
+            for parent, tag in parents:
+                inputs[tag] = list(
+                    data.get(f"stage_{parent.stage_id}", [])
+                )
+            records = compute(inputs)
+            out: dict[str, list] = {}
+            emitted = shuffle_emit(records) if shuffle_emit else records
+            for consumer in consumer_stages:
+                out[f"stage_{consumer.stage_id}"] = list(emitted)
+            if is_result:
+                if kind == "count":
+                    out["out"] = [(0, len(records))]
+                else:
+                    out["out"] = list(records)
+            return out
+
+        return fn

@@ -1,0 +1,61 @@
+"""Convenience harness: one object wiring the whole simulated stack.
+
+Bundles the DES environment, cluster, YARN RM, HDFS and the shuffle
+services so examples, tests and benchmarks start from one line::
+
+    sim = SimCluster(num_nodes=20)
+    client = sim.tez_client(session=True)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .cluster import Cluster, ClusterSpec
+from .hdfs import Hdfs
+from .shuffle import ShuffleServices
+from .sim import Environment
+from .tez import TezClient, TezConfig
+from .yarn import QueueConfig, ResourceManager
+
+__all__ = ["SimCluster"]
+
+
+class SimCluster:
+    def __init__(
+        self,
+        spec: Optional[ClusterSpec] = None,
+        queues: Optional[list[QueueConfig]] = None,
+        secure: bool = True,
+        preemption_enabled: bool = False,
+        **spec_overrides,
+    ):
+        if spec is None:
+            spec = ClusterSpec(**spec_overrides)
+        elif spec_overrides:
+            spec = spec.scaled(**spec_overrides)
+        self.spec = spec
+        self.env = Environment()
+        self.cluster = Cluster(self.env, spec)
+        self.rm = ResourceManager(
+            self.env, self.cluster, queues=queues, secure=secure,
+            preemption_enabled=preemption_enabled,
+        )
+        self.hdfs = Hdfs(self.cluster)
+        self.shuffle = ShuffleServices(self.cluster, self.rm.security)
+
+    def tez_client(self, name: str = "tez", queue: str = "default",
+                   config: Optional[TezConfig] = None,
+                   session: bool = False, **kwargs) -> TezClient:
+        return TezClient(
+            self.env, self.rm, self.hdfs, self.shuffle,
+            name=name, queue=queue, config=config, session=session,
+            **kwargs,
+        )
+
+    def run(self, until=None):
+        return self.env.run(until=until)
+
+    @property
+    def now(self) -> float:
+        return self.env.now

@@ -1,0 +1,109 @@
+"""Fetcher: the consumer side of the shuffle data plane.
+
+Implements the MapReduce-inherited robustness heuristics the paper
+describes (section 4.3): transient network errors are retried with
+back-off before an error is reported; a permanent failure raises
+:class:`FetchFailure` carrying the spill reference so the caller can
+emit an InputReadError event and trigger producer re-execution.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, Optional
+
+from ..cluster import Cluster, ClusterSpec
+from ..sim import Environment
+from ..yarn.security import Token
+from .service import ShuffleServices, SpillLost, SpillRef
+
+__all__ = ["Fetcher", "FetchFailure", "TransientFetchError"]
+
+
+class FetchFailure(Exception):
+    """Permanent inability to fetch a spill partition."""
+
+    def __init__(self, ref: SpillRef, reason: str):
+        super().__init__(f"{ref}: {reason}")
+        self.ref = ref
+        self.reason = reason
+
+
+class TransientFetchError(Exception):
+    """Injected network blip (retried internally)."""
+
+
+class Fetcher:
+    """Fetches spill partitions for one consumer task."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        services: ShuffleServices,
+        app_id: str,
+        reader_node: str,
+        job_token: Optional[Token] = None,
+        rng: Optional[random.Random] = None,
+        spec: Optional[ClusterSpec] = None,
+    ):
+        self.env = env
+        self.cluster = cluster
+        self.services = services
+        self.app_id = app_id
+        self.reader_node = reader_node
+        self.job_token = job_token
+        self.spec = spec or cluster.spec
+        self.rng = rng or random.Random(cluster.spec.seed)
+        self.bytes_fetched = 0
+        self.fetch_count = 0
+        self.retries = 0
+
+    def fetch(self, ref: SpillRef) -> Generator:
+        """Process: fetch one partition; returns the records.
+
+        Charges connection latency + locality-dependent transfer time;
+        injects transient errors at the configured rate and retries
+        with back-off; raises :class:`FetchFailure` when the data is
+        gone or retries are exhausted.
+        """
+        attempts = 0
+        while True:
+            attempts += 1
+            yield self.env.timeout(self.spec.shuffle_connection_latency)
+            # Transient error injection (network blips).
+            if (
+                self.spec.shuffle_transient_error_rate > 0
+                and self.rng.random() < self.spec.shuffle_transient_error_rate
+                and attempts <= self.spec.shuffle_max_retries
+            ):
+                self.retries += 1
+                yield self.env.timeout(
+                    self.spec.shuffle_retry_backoff * attempts
+                )
+                continue
+            service = self.services.on_node(ref.node_id)
+            try:
+                records = service.fetch(
+                    ref.spill_id, ref.partition, self.app_id, self.job_token
+                )
+            except SpillLost as exc:
+                raise FetchFailure(ref, str(exc)) from exc
+            transfer = self.cluster.transfer_time(
+                ref.nbytes, ref.node_id, self.reader_node
+            )
+            yield self.env.timeout(transfer)
+            self.bytes_fetched += ref.nbytes
+            self.fetch_count += 1
+            return list(records)
+
+    def fetch_all(self, refs: list[SpillRef]) -> Generator:
+        """Process: fetch several partitions sequentially; returns a
+        list of record lists (order matches ``refs``)."""
+        out = []
+        for ref in refs:
+            records = yield self.env.process(
+                self.fetch(ref), name=f"fetch:{ref.spill_id}"
+            )
+            out.append(records)
+        return out

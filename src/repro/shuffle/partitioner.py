@@ -1,0 +1,87 @@
+"""Partitioners: map a record key to one of P partitions."""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Sequence
+
+__all__ = ["HashPartitioner", "RangePartitioner", "Partitioner"]
+
+
+def _stable_hash(key: Any) -> int:
+    """Deterministic hash across runs (no PYTHONHASHSEED dependence)."""
+    if isinstance(key, int):
+        return key * 2654435761 & 0x7FFFFFFF
+    if isinstance(key, float):
+        return _stable_hash(hash(key) & 0x7FFFFFFF)
+    if isinstance(key, str):
+        h = 2166136261
+        for ch in key:
+            h = ((h ^ ord(ch)) * 16777619) & 0xFFFFFFFF
+        return h & 0x7FFFFFFF
+    if isinstance(key, bytes):
+        h = 2166136261
+        for b in key:
+            h = ((h ^ b) * 16777619) & 0xFFFFFFFF
+        return h & 0x7FFFFFFF
+    if isinstance(key, (tuple, list)):
+        h = 1
+        for item in key:
+            h = (h * 31 + _stable_hash(item)) & 0x7FFFFFFF
+        return h
+    if key is None:
+        return 0
+    return hash(key) & 0x7FFFFFFF
+
+
+class Partitioner:
+    """Interface: subclasses route keys to partitions."""
+
+    def partition(self, key: Any, num_partitions: int) -> int:
+        raise NotImplementedError
+
+
+class HashPartitioner(Partitioner):
+    """MapReduce-default partitioning by stable key hash."""
+
+    def partition(self, key: Any, num_partitions: int) -> int:
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        return _stable_hash(key) % num_partitions
+
+
+class RangePartitioner(Partitioner):
+    """Partition by sorted key ranges (total-order partitioning).
+
+    ``boundaries`` are P-1 sorted split points: keys <= boundaries[i]
+    go to partition i; keys above the last boundary go to the final
+    partition. Built from a sample histogram for skew-aware order-by
+    (the Pig use case in paper section 5.3).
+    """
+
+    def __init__(self, boundaries: Sequence[Any]):
+        self.boundaries = list(boundaries)
+        for a, b in zip(self.boundaries, self.boundaries[1:]):
+            if b < a:
+                raise ValueError("boundaries must be sorted")
+
+    def partition(self, key: Any, num_partitions: int) -> int:
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        idx = bisect.bisect_left(self.boundaries, key)
+        return min(idx, num_partitions - 1)
+
+    @classmethod
+    def from_sample(cls, sample: Sequence[Any],
+                    num_partitions: int) -> "RangePartitioner":
+        """Equi-depth boundaries from a key sample."""
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        ordered = sorted(sample)
+        if not ordered or num_partitions == 1:
+            return cls([])
+        boundaries = []
+        for i in range(1, num_partitions):
+            idx = min(len(ordered) - 1, (i * len(ordered)) // num_partitions)
+            boundaries.append(ordered[idx])
+        return cls(boundaries)

@@ -1,0 +1,148 @@
+"""The per-node auxiliary shuffle service.
+
+Producer tasks register partitioned spills with the service on their
+node; consumer tasks fetch single partitions over the (simulated)
+network. Spills live on the producing node's local disks: if the node
+dies, its spills are lost and fetches raise — the failure mode Tez's
+re-execution fault tolerance recovers from.
+
+Access is authenticated with a per-application JOB token (paper 4.3:
+shuffle data is read via the secure YARN shuffle service).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..cluster import Cluster
+from ..hdfs import estimate_record_bytes
+from ..yarn.security import SecurityManager, Token
+
+__all__ = ["ShuffleService", "ShuffleServices", "Spill", "SpillRef",
+           "ShuffleError", "SpillLost"]
+
+
+class ShuffleError(Exception):
+    pass
+
+
+class SpillLost(ShuffleError):
+    """The spill's node is dead or the spill was deleted."""
+
+
+@dataclass
+class Spill:
+    """A producer task output: records and byte sizes per partition."""
+
+    spill_id: str
+    app_id: str
+    node_id: str
+    partitions: dict[int, list]
+    partition_bytes: dict[int, int]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.partition_bytes.values())
+
+
+@dataclass(frozen=True)
+class SpillRef:
+    """What a DataMovementEvent carries: where to fetch which data."""
+
+    node_id: str
+    spill_id: str
+    partition: int
+    nbytes: int
+
+    def __repr__(self) -> str:
+        return f"<SpillRef {self.spill_id}[p{self.partition}]@{self.node_id}>"
+
+
+class ShuffleService:
+    """One node's shuffle service."""
+
+    def __init__(self, node_id: str, cluster: Cluster,
+                 security: SecurityManager):
+        self.node_id = node_id
+        self.cluster = cluster
+        self.security = security
+        self._spills: dict[str, Spill] = {}
+
+    @property
+    def alive(self) -> bool:
+        return self.cluster.nodes[self.node_id].alive
+
+    def register_spill(
+        self,
+        app_id: str,
+        spill_id: str,
+        partitions: dict[int, list],
+        token: Optional[Token] = None,
+        bytes_per_record: Optional[float] = None,
+    ) -> list[SpillRef]:
+        """Store a spill; returns one SpillRef per non-empty partition."""
+        self.security.verify(token, "JOB", app_id)
+        if not self.alive:
+            raise SpillLost(f"node {self.node_id} is down")
+        if spill_id in self._spills:
+            raise ShuffleError(f"duplicate spill {spill_id}")
+        partition_bytes: dict[int, int] = {}
+        for part, records in partitions.items():
+            if bytes_per_record is not None:
+                partition_bytes[part] = int(len(records) * bytes_per_record)
+            else:
+                partition_bytes[part] = sum(
+                    estimate_record_bytes(r) for r in records
+                )
+        spill = Spill(spill_id, app_id, self.node_id, dict(partitions),
+                      partition_bytes)
+        self._spills[spill_id] = spill
+        return [
+            SpillRef(self.node_id, spill_id, part, partition_bytes[part])
+            for part in sorted(partitions)
+        ]
+
+    def fetch(self, spill_id: str, partition: int,
+              app_id: str, token: Optional[Token] = None) -> list:
+        """Return one partition's records; raises SpillLost when gone."""
+        self.security.verify(token, "JOB", app_id)
+        if not self.alive:
+            raise SpillLost(f"node {self.node_id} is down")
+        spill = self._spills.get(spill_id)
+        if spill is None:
+            raise SpillLost(f"spill {spill_id} not found on {self.node_id}")
+        return spill.partitions.get(partition, [])
+
+    def delete_app(self, app_id: str) -> None:
+        """Reclaim all spills of a finished application."""
+        self._spills = {
+            sid: s for sid, s in self._spills.items() if s.app_id != app_id
+        }
+
+    def drop_spill(self, spill_id: str) -> None:
+        self._spills.pop(spill_id, None)
+
+    def spill_count(self, app_id: Optional[str] = None) -> int:
+        if app_id is None:
+            return len(self._spills)
+        return sum(1 for s in self._spills.values() if s.app_id == app_id)
+
+
+class ShuffleServices:
+    """Directory of per-node shuffle services + app-wide cleanup."""
+
+    def __init__(self, cluster: Cluster, security: SecurityManager):
+        self.cluster = cluster
+        self.security = security
+        self.services = {
+            node_id: ShuffleService(node_id, cluster, security)
+            for node_id in cluster.nodes
+        }
+
+    def on_node(self, node_id: str) -> ShuffleService:
+        return self.services[node_id]
+
+    def delete_app(self, app_id: str) -> None:
+        for service in self.services.values():
+            service.delete_app(app_id)

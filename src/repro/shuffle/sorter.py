@@ -1,0 +1,67 @@
+"""Sort / merge / group primitives for the shuffle data plane.
+
+Keys may be arbitrary comparable Python values. For mixed-type safety
+(None vs str, say) sorting uses a type-tagged key so the data plane
+never throws on heterogeneous keys — matching Hadoop's bytewise
+comparator behaviour of "everything is comparable".
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterable, Iterator
+
+__all__ = ["sort_key", "sort_records", "merge_sorted_runs", "group_by_key"]
+
+
+def sort_key(key: Any):
+    """Total order over heterogeneous keys: by type name, then value."""
+    if key is None:
+        return ("", 0)
+    if isinstance(key, bool):
+        return ("bool", key)
+    if isinstance(key, (int, float)):
+        return ("num", key)
+    if isinstance(key, str):
+        return ("str", key)
+    if isinstance(key, bytes):
+        return ("bytes", key)
+    if isinstance(key, tuple):
+        return ("tuple", tuple(sort_key(k) for k in key))
+    return ("obj", str(key))
+
+
+def _kv_sort_key(kv: tuple) -> Any:
+    return sort_key(kv[0])
+
+
+def sort_records(kvs: Iterable[tuple]) -> list[tuple]:
+    """Stable sort of (key, value) pairs by key."""
+    return sorted(kvs, key=_kv_sort_key)
+
+
+def merge_sorted_runs(runs: Iterable[Iterable[tuple]]) -> Iterator[tuple]:
+    """K-way merge of key-sorted runs (the reduce-side merge)."""
+    return heapq.merge(*runs, key=_kv_sort_key)
+
+
+def group_by_key(sorted_kvs: Iterable[tuple]) -> Iterator[tuple]:
+    """Yield (key, [values...]) groups from a key-sorted stream."""
+    current_key = None
+    current_tag = None
+    values: list = []
+    first = True
+    for key, value in sorted_kvs:
+        tag = sort_key(key)
+        if first:
+            current_key, current_tag = key, tag
+            values = [value]
+            first = False
+        elif tag == current_tag:
+            values.append(value)
+        else:
+            yield current_key, values
+            current_key, current_tag = key, tag
+            values = [value]
+    if not first:
+        yield current_key, values

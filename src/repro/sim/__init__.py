@@ -1,0 +1,27 @@
+"""Deterministic discrete-event simulation kernel (SimPy-like)."""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import Resource, ResourceRequest, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "ResourceRequest",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

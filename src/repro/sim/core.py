@@ -1,0 +1,371 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, SimPy-like engine. Processes are generator
+coroutines that yield :class:`Event` objects; the :class:`Environment`
+advances simulated time and resumes processes when the events they wait
+on trigger.
+
+The kernel is intentionally minimal but complete enough to model a
+distributed cluster: one-shot events, timeouts, processes, composite
+wait conditions, and interruption.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (double trigger, running a dead env...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event states
+_PENDING = 0
+_TRIGGERED = 1  # scheduled, callbacks not yet run
+_PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* with either a value (`succeed`) or an
+    exception (`fail`). Once triggered it is scheduled on the event
+    queue and its callbacks run when the simulation reaches it.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._state = _PENDING
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        # Set True when some process waits on the event; failures on
+        # events nobody waits on are surfaced by Environment.run().
+        self._defused = False
+
+    # -- inspection ----------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._state != _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event not yet triggered")
+        return self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError("event not yet triggered")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = value
+        self._state = _TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._exc = exc
+        self._state = _TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the state of another (triggered) event."""
+        if event._exc is not None:
+            self.fail(event._exc)
+        else:
+            self.succeed(event._value)
+
+    def _run_callbacks(self) -> None:
+        self._state = _PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} at t={self.env.now}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self._state = _TRIGGERED
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """A generator coroutine driven by the events it yields.
+
+    The process itself is an event that triggers when the generator
+    returns (value = return value) or raises (failure).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise TypeError("process requires a generator")
+        super().__init__(env)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._target: Optional[Event] = None  # event currently waited on
+        # Bootstrap: resume on the next tick.
+        init = Event(env)
+        init._state = _TRIGGERED
+        init.callbacks.append(self._resume)
+        env._schedule(init)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the next tick."""
+        if not self.is_alive:
+            return
+        hit = Event(self.env)
+        hit._state = _TRIGGERED
+        hit._exc = Interrupt(cause)
+        hit._defused = True
+        hit.callbacks.append(self._resume)
+        self.env._schedule(hit, priority=0)
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            # The process already terminated (e.g. a second interrupt
+            # landed after death); late wake-ups are ignored.
+            event._defused = True
+            return
+        # Detach from the event we were waiting on (relevant for
+        # interrupts arriving while waiting on something else).
+        if self._target is not None and self._target is not event:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        self.env._active = self
+        try:
+            if event._exc is not None:
+                event._defused = True
+                next_ev = self._generator.throw(event._exc)
+            else:
+                next_ev = self._generator.send(event._value)
+        except StopIteration as stop:
+            self.env._active = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active = None
+            self.fail(exc)
+            return
+        self.env._active = None
+
+        if not isinstance(next_ev, Event):
+            error = SimulationError(
+                f"process {self.name!r} yielded non-event {next_ev!r}"
+            )
+            self._generator.throw(error)
+            return
+        if next_ev.env is not self.env:
+            raise SimulationError("yielded event belongs to another environment")
+        self._target = next_ev
+        if next_ev._state == _PROCESSED:
+            # Already processed: resume immediately on the next tick.
+            proxy = Event(self.env)
+            proxy._state = _TRIGGERED
+            proxy._value = next_ev._value
+            proxy._exc = next_ev._exc
+            if next_ev._exc is not None:
+                proxy._defused = True
+            proxy.callbacks.append(self._resume)
+            self.env._schedule(proxy)
+        else:
+            next_ev._defused = True
+            next_ev.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name} alive={self.is_alive}>"
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("all events must share one environment")
+        self._done = 0
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            if ev._state == _PROCESSED:
+                self._check(ev)
+            else:
+                ev._defused = True
+                ev.callbacks.append(self._check)
+
+    def _collect(self) -> dict:
+        return {
+            ev: ev._value for ev in self.events if ev._state != _PENDING and ev.ok
+        }
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when every component event has triggered."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exc is not None:
+            self.fail(event._exc)
+            return
+        self._done += 1
+        if self._done == len(self.events):
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as one component event triggers."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exc is not None:
+            self.fail(event._exc)
+            return
+        self.succeed(self._collect())
+
+
+class Environment:
+    """Owns the clock and the event queue; executes the simulation."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active
+
+    # -- event factories ------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        if not self._queue:
+            raise SimulationError("empty schedule")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("time went backwards")
+        self._now = when
+        event._run_callbacks()
+        if event._exc is not None and not event._defused:
+            raise event._exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run until the given time, event, or queue exhaustion.
+
+        ``until`` may be ``None`` (run to exhaustion), a number (run to
+        that simulated time), or an :class:`Event` (run until it is
+        processed and return its value).
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError("cannot run into the past")
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                return stop_event.value
+            if self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if stop_event.processed:
+                return stop_event.value
+            raise SimulationError(
+                "simulation ran out of events before `until` event triggered"
+            )
+        if stop_time != float("inf"):
+            self._now = stop_time
+        return None

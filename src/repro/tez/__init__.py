@@ -1,0 +1,119 @@
+"""Apache Tez reproduction: the DAG framework (paper's contribution).
+
+Public surface:
+
+* DAG API — :class:`DAG`, :class:`Vertex`, :class:`Edge`,
+  :class:`EdgeProperty`, descriptors (paper 3.1).
+* Runtime API — :class:`Processor`, :class:`LogicalInput`,
+  :class:`LogicalOutput` (paper 3.2).
+* Control plane — events (paper 3.3), :class:`VertexManagerPlugin`
+  (3.4), :class:`InputInitializer` (3.5), edge managers.
+* Orchestration — :class:`DAGAppMaster` on YARN, :class:`TezClient`
+  with sessions/pre-warm, fault tolerance, speculation (paper 4).
+* Runtime library — HDFS + shuffle IPOs (paper 4.1).
+"""
+
+from .am import DAGAppMaster, DAGState, DAGStatus, RecoveryLog
+from .client import DAGHandle, TezClient
+from .committer import CommitterContext, OutputCommitter
+from .config import TezConfig
+from .dag import (
+    DAG,
+    DagValidationError,
+    DataMovementType,
+    DataSinkDescriptor,
+    DataSourceDescriptor,
+    DataSourceType,
+    Descriptor,
+    Edge,
+    EdgeProperty,
+    SchedulingType,
+    TaskLocationHint,
+    Vertex,
+)
+from .edge_manager import (
+    BroadcastEdgeManager,
+    EdgeManagerPlugin,
+    OneToOneEdgeManager,
+    ScatterGatherEdgeManager,
+)
+from .events import (
+    CompositeDataMovementEvent,
+    DataMovementEvent,
+    InputInitializerEvent,
+    InputReadErrorEvent,
+    TezEvent,
+    VertexManagerEvent,
+)
+from .initializer import InitializerContext, InputInitializer, InputSplit
+from .registry import ObjectRegistry, Scope
+from .runtime import (
+    FrameworkServices,
+    InputSpec,
+    LogicalInput,
+    LogicalOutput,
+    OutputSpec,
+    Processor,
+    TaskContext,
+    TaskSpec,
+)
+from .vertex_manager import (
+    ImmediateStartVertexManager,
+    InputReadyVertexManager,
+    RootInputVertexManager,
+    ShuffleVertexManager,
+    ShuffleVertexManagerConfig,
+    VertexManagerPlugin,
+)
+
+__all__ = [
+    "BroadcastEdgeManager",
+    "CommitterContext",
+    "CompositeDataMovementEvent",
+    "DAG",
+    "DAGAppMaster",
+    "DAGHandle",
+    "DAGState",
+    "DAGStatus",
+    "DagValidationError",
+    "DataMovementEvent",
+    "DataMovementType",
+    "DataSinkDescriptor",
+    "DataSourceDescriptor",
+    "DataSourceType",
+    "Descriptor",
+    "Edge",
+    "EdgeManagerPlugin",
+    "EdgeProperty",
+    "FrameworkServices",
+    "ImmediateStartVertexManager",
+    "InitializerContext",
+    "InputInitializerEvent",
+    "InputInitializer",
+    "InputReadErrorEvent",
+    "InputReadyVertexManager",
+    "InputSpec",
+    "InputSplit",
+    "LogicalInput",
+    "LogicalOutput",
+    "ObjectRegistry",
+    "OneToOneEdgeManager",
+    "OutputCommitter",
+    "OutputSpec",
+    "Processor",
+    "RecoveryLog",
+    "RootInputVertexManager",
+    "ScatterGatherEdgeManager",
+    "SchedulingType",
+    "Scope",
+    "ShuffleVertexManager",
+    "ShuffleVertexManagerConfig",
+    "TaskContext",
+    "TaskLocationHint",
+    "TaskSpec",
+    "TezClient",
+    "TezConfig",
+    "TezEvent",
+    "Vertex",
+    "VertexManagerPlugin",
+]

@@ -1,0 +1,30 @@
+"""The Tez DAG ApplicationMaster and its services."""
+
+from .dag_app_master import DAGAppMaster, DAGStatus, RecoveryLog
+from .structures import (
+    AttemptEndReason,
+    AttemptState,
+    DAGState,
+    Task,
+    TaskAttempt,
+    TaskState,
+    VertexRuntime,
+    VertexState,
+)
+from .task_scheduler import TaskRequest, TaskSchedulerService
+
+__all__ = [
+    "AttemptEndReason",
+    "AttemptState",
+    "DAGAppMaster",
+    "DAGState",
+    "DAGStatus",
+    "RecoveryLog",
+    "Task",
+    "TaskAttempt",
+    "TaskRequest",
+    "TaskSchedulerService",
+    "TaskState",
+    "VertexRuntime",
+    "VertexState",
+]

@@ -1,0 +1,216 @@
+"""AM-side bookkeeping: DAG / Vertex / Task / TaskAttempt state.
+
+These mirror Tez's DAGImpl/VertexImpl/TaskImpl/TaskAttemptImpl state
+machines in a compact form: explicit states for observability and
+testing, with transitions driven by the DAGAppMaster.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any, Optional, TYPE_CHECKING
+
+from ..dag import Edge, Vertex
+from ..events import DataMovementEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...sim import Store
+    from ...yarn import Container
+
+__all__ = [
+    "DAGState",
+    "VertexState",
+    "TaskState",
+    "AttemptState",
+    "TaskAttempt",
+    "Task",
+    "VertexRuntime",
+    "AttemptEndReason",
+]
+
+
+class DAGState(Enum):
+    NEW = "NEW"
+    RUNNING = "RUNNING"
+    COMMITTING = "COMMITTING"
+    SUCCEEDED = "SUCCEEDED"
+    FAILED = "FAILED"
+    KILLED = "KILLED"
+
+
+class VertexState(Enum):
+    NEW = "NEW"
+    INITIALIZING = "INITIALIZING"
+    INITED = "INITED"
+    RUNNING = "RUNNING"
+    SUCCEEDED = "SUCCEEDED"
+    FAILED = "FAILED"
+    KILLED = "KILLED"
+
+
+class TaskState(Enum):
+    NEW = "NEW"
+    SCHEDULED = "SCHEDULED"
+    RUNNING = "RUNNING"
+    SUCCEEDED = "SUCCEEDED"
+    FAILED = "FAILED"
+    KILLED = "KILLED"
+
+
+class AttemptState(Enum):
+    NEW = "NEW"
+    QUEUED = "QUEUED"        # waiting for a container
+    RUNNING = "RUNNING"
+    SUCCEEDED = "SUCCEEDED"
+    FAILED = "FAILED"
+    KILLED = "KILLED"
+
+
+class AttemptEndReason(Enum):
+    APP_ERROR = "APP_ERROR"              # processor raised
+    CONTAINER_LOST = "CONTAINER_LOST"    # node/container died
+    PREEMPTED = "PREEMPTED"              # internal deadlock preemption
+    SPECULATION_LOST = "SPECULATION_LOST"
+    OUTPUT_LOST = "OUTPUT_LOST"          # re-executed for lost output
+    DAG_KILLED = "DAG_KILLED"
+
+
+class TaskAttempt:
+    """One execution attempt of a task."""
+
+    def __init__(self, task: "Task", number: int,
+                 is_speculative: bool = False):
+        self.task = task
+        self.number = number
+        self.is_speculative = is_speculative
+        self.state = AttemptState.NEW
+        self.container: Optional["Container"] = None
+        self.node_id: Optional[str] = None
+        self.process = None              # sim process while running
+        self.event_store: Optional["Store"] = None  # live event channel
+        self.start_time: Optional[float] = None
+        self.launch_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        self.end_reason: Optional[AttemptEndReason] = None
+        self.diagnostics = ""
+        self.counters: dict[str, float] = {}
+
+    @property
+    def attempt_id(self) -> str:
+        dag_id = self.task.vertex.dag_id
+        prefix = f"{dag_id}/" if dag_id else ""
+        return f"{prefix}{self.task.task_id.replace('_t', '/t')}" \
+               f"_a{self.number}"
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.launch_time is None or self.finish_time is None:
+            return None
+        return self.finish_time - self.launch_time
+
+    def __repr__(self) -> str:
+        return f"<Attempt {self.attempt_id} {self.state.value}>"
+
+
+class Task:
+    """One unit of work of a vertex (paper terminology)."""
+
+    def __init__(self, vertex: "VertexRuntime", index: int):
+        self.vertex = vertex
+        self.index = index
+        self.state = TaskState.NEW
+        self.attempts: list[TaskAttempt] = []
+        self.failed_attempts = 0
+        self.output_version = -1         # attempt number of live output
+        self.succeeded_attempt: Optional[TaskAttempt] = None
+        self.output_events: list[DataMovementEvent] = []
+        self.location_nodes: tuple[str, ...] = ()
+        self.location_racks: tuple[str, ...] = ()
+
+    @property
+    def task_id(self) -> str:
+        return f"{self.vertex.name}_t{self.index}"
+
+    def new_attempt(self, is_speculative: bool = False) -> TaskAttempt:
+        attempt = TaskAttempt(self, len(self.attempts),
+                              is_speculative=is_speculative)
+        self.attempts.append(attempt)
+        return attempt
+
+    def running_attempts(self) -> list[TaskAttempt]:
+        return [
+            a for a in self.attempts
+            if a.state in (AttemptState.QUEUED, AttemptState.RUNNING)
+        ]
+
+    def __repr__(self) -> str:
+        return f"<Task {self.task_id} {self.state.value}>"
+
+
+class VertexRuntime:
+    """AM-side state of one vertex."""
+
+    def __init__(self, vertex: Vertex, depth: int, dag_id: str = ""):
+        self.vertex = vertex
+        self.name = vertex.name
+        self.depth = depth
+        self.dag_id = dag_id   # session-unique DAG execution id
+        self.state = VertexState.NEW
+        self.parallelism = vertex.parallelism
+        self.tasks: list[Task] = []
+        self.scheduled: set[int] = set()
+        self.completed_tasks = 0
+        self.in_edges: list[Edge] = []
+        self.out_edges: list[Edge] = []
+        self.manager = None              # VertexManagerPlugin
+        self.root_splits: dict[str, list] = {}   # input name -> splits
+        self.initialized_inputs: set[str] = set()
+        # Buffered data-movement events keyed by
+        # (source_name, source_task, source_output) -> DataMovementEvent.
+        self.incoming: dict[tuple[str, int, int], DataMovementEvent] = {}
+        # VertexManagerEvents arriving before the manager is ready.
+        self.pending_vm_events: list = []
+        self.start_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        self.inited_event = None   # sim Event set by the AM
+        # True once the first task is scheduled: parallelism is final
+        # and downstream vertices may compute their input shapes
+        # (Tez's "vertex configured" state).
+        self.parallelism_locked = False
+
+    @property
+    def started(self) -> bool:
+        return self.state in (
+            VertexState.RUNNING, VertexState.SUCCEEDED
+        )
+
+    def create_tasks(self) -> None:
+        if self.parallelism < 1:
+            raise RuntimeError(
+                f"vertex {self.name}: parallelism unresolved "
+                f"({self.parallelism})"
+            )
+        self.tasks = [Task(self, i) for i in range(self.parallelism)]
+
+    def set_parallelism(self, parallelism: int) -> None:
+        if self.scheduled:
+            raise RuntimeError(
+                f"vertex {self.name}: cannot change parallelism after "
+                "tasks were scheduled"
+            )
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        self.parallelism = parallelism
+        self.create_tasks()
+
+    def all_tasks_done(self) -> bool:
+        return (
+            bool(self.tasks)
+            and all(t.state == TaskState.SUCCEEDED for t in self.tasks)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<VertexRuntime {self.name} {self.state.value} "
+            f"{self.completed_tasks}/{self.parallelism}>"
+        )

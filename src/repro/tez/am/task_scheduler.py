@@ -1,0 +1,415 @@
+"""Task scheduler: locality-aware container negotiation and reuse.
+
+This is the Tez AM component that owns all containers (paper 4.1/4.2).
+It queues task requests by priority, satisfies them either by reusing
+an idle container (node match first, then rack, then any — per config)
+or by asking YARN for new containers with locality preferences, and
+releases containers back to YARN after an idle timeout so the cluster
+can be shared (multi-tenancy, paper 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from ...sim import Environment, Interrupt, Store
+from ...yarn import AMContext, Container, Priority, Resource
+from ..config import TezConfig
+from .structures import AttemptEndReason, TaskAttempt
+
+__all__ = ["TaskRequest", "TaskSchedulerService"]
+
+_STOP = object()
+_WARMUP = object()
+
+
+class TaskRequest:
+    """A queued ask: run this attempt somewhere appropriate."""
+
+    def __init__(
+        self,
+        attempt: TaskAttempt,
+        priority: int,
+        capability: Resource,
+        nodes: tuple[str, ...] = (),
+        racks: tuple[str, ...] = (),
+    ):
+        self.attempt = attempt
+        self.priority = priority
+        self.capability = capability
+        self.nodes = tuple(nodes)
+        self.racks = tuple(racks)
+        self.asked_yarn = False
+        self.queued_at: Optional[float] = None
+
+    def __repr__(self) -> str:
+        return f"<TaskRequest {self.attempt.attempt_id} p{self.priority}>"
+
+
+class _Slot:
+    """Scheduler-side state of one held container."""
+
+    def __init__(self, container: Container, mailbox: Store):
+        self.container = container
+        self.mailbox = mailbox
+        self.current: Optional[TaskAttempt] = None
+        self.idle_since: Optional[float] = None
+        self.launched = False
+        self.releasing = False
+
+
+class TaskSchedulerService:
+    def __init__(
+        self,
+        env: Environment,
+        ctx: AMContext,
+        config: TezConfig,
+        run_attempt: Callable[[TaskAttempt, Container], Generator],
+        on_attempt_exit: Callable[[TaskAttempt, Optional[BaseException]], None],
+    ):
+        self.env = env
+        self.ctx = ctx
+        self.config = config
+        self.spec = ctx.rm.spec
+        self.cluster = ctx.rm.cluster
+        self._run_attempt = run_attempt
+        self._on_attempt_exit = on_attempt_exit
+        self.pending: list[TaskRequest] = []
+        self.slots: dict[Any, _Slot] = {}   # ContainerId -> _Slot
+        self._stopped = False
+        self.session_waiting = False  # between DAGs: longer idle timeout
+        # metrics
+        self.containers_launched = 0
+        self.tasks_placed = 0
+        self.reuse_hits = 0
+        self.containers_released = 0
+        # Execution trace (paper Figure 7): one entry per task run,
+        # (container_id, attempt_id, dag_name, start, end).
+        self.task_trace: list[tuple] = []
+        env.process(self._allocation_pump(), name="tez-alloc-pump")
+        env.process(self._completion_pump(), name="tez-completion-pump")
+        env.process(self._idle_reaper(), name="tez-idle-reaper")
+
+    # ------------------------------------------------------------------ API
+    def schedule(self, request: TaskRequest) -> None:
+        """Queue an attempt for execution."""
+        request.queued_at = self.env.now
+        slot = self._find_reusable_slot(request)
+        if slot is not None:
+            self.reuse_hits += 1
+            self._assign(slot, request)
+            return
+        self.pending.append(request)
+        self.pending.sort(key=lambda r: (r.priority, r.queued_at or 0))
+        self._ask_yarn(request)
+
+    def deallocate(self, request_attempt: TaskAttempt) -> bool:
+        """Remove a not-yet-running attempt from the queue."""
+        for req in list(self.pending):
+            if req.attempt is request_attempt:
+                self.pending.remove(req)
+                if req.asked_yarn:
+                    self._cancel_ask(req)
+                return True
+        return False
+
+    def kill_attempt(self, attempt: TaskAttempt,
+                     reason: AttemptEndReason) -> None:
+        """Stop a running attempt; its container survives for reuse
+        (except preemption, which releases the container to YARN)."""
+        if self.deallocate(attempt):
+            attempt.end_reason = reason
+            self._on_attempt_exit(attempt, Interrupt(reason))
+            return
+        slot = self._slot_of(attempt)
+        if slot is None:
+            return
+        attempt.end_reason = reason
+        setattr(attempt, "killing", True)
+        if attempt.process is not None and attempt.process.is_alive:
+            # Interrupt the task itself so its exit is reported (and
+            # the task re-queued) before the container goes away.
+            attempt.process.interrupt(reason)
+        if reason == AttemptEndReason.PREEMPTED:
+            self.release_slot(slot)
+
+    def _slot_of(self, attempt: TaskAttempt) -> Optional[_Slot]:
+        for slot in self.slots.values():
+            if slot.current is attempt:
+                return slot
+        return None
+
+    def release_slot(self, slot: _Slot) -> None:
+        if slot.releasing:
+            return
+        slot.releasing = True
+        self.containers_released += 1
+        self.slots.pop(slot.container.container_id, None)
+        self.ctx.release_container(slot.container.container_id)
+
+    def release_all_idle(self) -> None:
+        for slot in list(self.slots.values()):
+            if slot.current is None:
+                self.release_slot(slot)
+
+    def shutdown(self) -> None:
+        self._stopped = True
+        for slot in list(self.slots.values()):
+            self.release_slot(slot)
+
+    def held_containers(self) -> int:
+        return len(self.slots)
+
+    def idle_containers(self) -> int:
+        return sum(1 for s in self.slots.values() if s.current is None)
+
+    def prewarm(self, count: int, capability: Resource,
+                priority: int = 1) -> None:
+        """Ask YARN for containers and warm them up before any DAG
+        arrives (paper 4.2, session pre-warming)."""
+        self.ctx.request_containers(
+            Priority(priority), capability, count=count
+        )
+
+    # --------------------------------------------------------- YARN plumbing
+    def _ask_yarn(self, request: TaskRequest) -> None:
+        request.asked_yarn = True
+        self.ctx.request_containers(
+            Priority(request.priority),
+            request.capability,
+            nodes=list(request.nodes),
+            racks=list(request.racks),
+        )
+
+    def _cancel_ask(self, request: TaskRequest) -> None:
+        self.ctx.cancel_request(
+            Priority(request.priority),
+            nodes=list(request.nodes),
+            racks=list(request.racks),
+        )
+        request.asked_yarn = False
+
+    def _allocation_pump(self) -> Generator:
+        while not self._stopped:
+            container = yield self.ctx.allocated.get()
+            self._on_new_container(container)
+
+    def _completion_pump(self) -> Generator:
+        while not self._stopped:
+            status = yield self.ctx.completed.get()
+            slot = self.slots.pop(status.container_id, None)
+            if slot is None:
+                continue
+            attempt = slot.current
+            if attempt is not None and not getattr(attempt, "killing", False):
+                attempt.end_reason = (
+                    attempt.end_reason or AttemptEndReason.CONTAINER_LOST
+                )
+                self._on_attempt_exit(
+                    attempt,
+                    RuntimeError(
+                        f"container lost: {status.diagnostics or 'stopped'}"
+                    ),
+                )
+
+    def _on_new_container(self, container: Container) -> None:
+        if self._stopped:
+            self.ctx.release_container(container.container_id)
+            return
+        mailbox = Store(self.env)
+        slot = _Slot(container, mailbox)
+        self.slots[container.container_id] = slot
+        request = self._match_pending(container)
+        if request is not None:
+            self.pending.remove(request)
+            if request.asked_yarn:
+                request.asked_yarn = False  # consumed by this allocation
+            self._assign(slot, request)
+        else:
+            # Pre-warm or surplus container: warm it and hold it idle.
+            slot.idle_since = self.env.now
+            self._ensure_launched(slot)
+            slot.mailbox.put(_WARMUP)
+
+    # ------------------------------------------------------------- matching
+    def _find_reusable_slot(self, request: TaskRequest) -> Optional[_Slot]:
+        if not self.config.container_reuse:
+            return None
+        idle = [
+            s for s in self.slots.values()
+            if s.current is None and not s.releasing
+            and s.container.node.alive
+            and request.capability.fits_in(s.container.resource)
+        ]
+        if not idle:
+            return None
+        if request.nodes:
+            for slot in idle:
+                if slot.container.node_id in request.nodes:
+                    return slot
+        racks = set(request.racks) | {
+            self.cluster.nodes[n].rack
+            for n in request.nodes if n in self.cluster.nodes
+        }
+        if racks and self.config.reuse_rack_fallback:
+            for slot in idle:
+                if slot.container.node.rack in racks:
+                    return slot
+        if not request.nodes and not racks:
+            return idle[0]
+        if self.config.reuse_any_fallback:
+            return idle[0]
+        return None
+
+    def _match_pending(self, container: Container) -> Optional[TaskRequest]:
+        """Best queued request for a newly allocated container."""
+        candidates = [
+            r for r in self.pending
+            if r.capability.fits_in(container.resource)
+        ]
+        if not candidates:
+            return None
+        node = container.node_id
+        rack = container.node.rack
+        for req in candidates:
+            if node in req.nodes:
+                return req
+        for req in candidates:
+            req_racks = set(req.racks) | {
+                self.cluster.nodes[n].rack
+                for n in req.nodes if n in self.cluster.nodes
+            }
+            if rack in req_racks:
+                return req
+        return candidates[0]
+
+    def _match_slot_to_pending(self, slot: _Slot) -> None:
+        """A slot went idle: try to hand it a queued request."""
+        if self._stopped or slot.releasing or slot.current is not None:
+            # The slot may have been re-assigned from inside the
+            # completion callback (attempt exit can schedule new work);
+            # queueing more tasks behind it invites priority-inversion
+            # deadlocks.
+            return
+        if not slot.container.node.alive:
+            self.release_slot(slot)
+            return
+        request = None
+        node = slot.container.node_id
+        rack = slot.container.node.rack
+        candidates = [
+            r for r in self.pending
+            if r.capability.fits_in(slot.container.resource)
+        ]
+        if self.config.container_reuse and candidates:
+            for r in candidates:
+                if node in r.nodes:
+                    request = r
+                    break
+            if request is None and self.config.reuse_rack_fallback:
+                for r in candidates:
+                    r_racks = set(r.racks) | {
+                        self.cluster.nodes[n].rack
+                        for n in r.nodes if n in self.cluster.nodes
+                    }
+                    if rack in r_racks or (not r.nodes and not r.racks):
+                        request = r
+                        break
+            if request is None and self.config.reuse_any_fallback:
+                request = candidates[0]
+            if request is None:
+                for r in candidates:
+                    if not r.nodes and not r.racks:
+                        request = r
+                        break
+        if request is not None:
+            self.pending.remove(request)
+            if request.asked_yarn:
+                self._cancel_ask(request)
+            self.reuse_hits += 1
+            self._assign(slot, request)
+        else:
+            slot.idle_since = self.env.now
+
+    # ------------------------------------------------------------ execution
+    def _assign(self, slot: _Slot, request: TaskRequest) -> None:
+        slot.current = request.attempt
+        slot.idle_since = None
+        self.tasks_placed += 1
+        request.attempt.container = slot.container
+        request.attempt.node_id = slot.container.node_id
+        self._ensure_launched(slot)
+        slot.mailbox.put(request.attempt)
+
+    def _ensure_launched(self, slot: _Slot) -> None:
+        if slot.launched:
+            return
+        slot.launched = True
+        self.containers_launched += 1
+        self.ctx.launch_container(
+            slot.container, lambda c, s=slot: self._runner(s)
+        )
+
+    def _runner(self, slot: _Slot) -> Generator:
+        """The long-lived in-container loop (the 'TezChild')."""
+        while True:
+            item = yield slot.mailbox.get()
+            if item is _STOP:
+                return
+            if item is _WARMUP:
+                # Burn the JIT warm-up so future tasks run hot.
+                warm = self.spec.jit_warmup_work
+                yield self.env.timeout(slot.container.compute_delay(warm))
+                continue
+            attempt: TaskAttempt = item
+            task_started = self.env.now
+            child = self.env.process(
+                self._run_attempt(attempt, slot.container),
+                name=f"attempt:{attempt.attempt_id}",
+            )
+            attempt.process = child
+            error: Optional[BaseException] = None
+            try:
+                yield child
+            except Interrupt as intr:
+                if getattr(attempt, "killing", False):
+                    error = intr  # the attempt itself was killed
+                else:
+                    # The container is being stopped: take the task down.
+                    if child.is_alive:
+                        setattr(attempt, "killing", True)
+                        child.interrupt("container stopped")
+                    raise
+            except GeneratorExit:
+                raise
+            except BaseException as exc:
+                error = exc
+            slot.container.tasks_run += 1
+            slot.current = None
+            self.task_trace.append((
+                str(slot.container.container_id),
+                attempt.attempt_id,
+                attempt.task.vertex.name,
+                task_started,
+                self.env.now,
+            ))
+            self._on_attempt_exit(attempt, error)
+            self._match_slot_to_pending(slot)
+
+    # ------------------------------------------------------------ idle reaper
+    def _idle_reaper(self) -> Generator:
+        while not self._stopped:
+            yield self.env.timeout(1.0)
+            timeout = (
+                self.config.session_idle_timeout
+                if self.session_waiting
+                else self.config.container_idle_timeout
+            )
+            now = self.env.now
+            for slot in list(self.slots.values()):
+                if (
+                    slot.current is None
+                    and slot.idle_since is not None
+                    and now - slot.idle_since >= timeout
+                ):
+                    self.release_slot(slot)

@@ -1,0 +1,199 @@
+"""TezClient: DAG submission, sessions, and pre-warming (paper 4.2).
+
+Non-session mode launches one AM per DAG (like a single YARN app).
+Session mode keeps one AM alive across a sequence of DAGs so containers
+are reused *across* DAGs and can be pre-warmed before the first DAG
+arrives — the mechanism behind Hive/Pig interactive sessions and
+efficient iterative processing (paper Figure 7, Figure 11).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..hdfs import Hdfs
+from ..shuffle import ShuffleServices
+from ..sim import Environment, Store
+from ..yarn import FinalApplicationStatus, Resource, ResourceManager
+from .am.dag_app_master import DAGAppMaster, DAGStatus, RecoveryLog
+from .config import TezConfig
+from .dag import DAG
+from .runtime import FrameworkServices
+
+__all__ = ["TezClient", "DAGHandle"]
+
+_STOP = object()
+
+
+class DAGHandle:
+    """Client-side handle for one submitted DAG."""
+
+    def __init__(self, env: Environment, dag: DAG):
+        self.env = env
+        self.dag = dag
+        self.completion = env.event()
+        self.status: Optional[DAGStatus] = None
+
+    def _finish(self, status: DAGStatus) -> None:
+        self.status = status
+        if not self.completion.triggered:
+            self.completion.succeed(status)
+
+
+class _Prewarm:
+    def __init__(self, count: int, capability: Resource):
+        self.count = count
+        self.capability = capability
+
+
+class TezClient:
+    def __init__(
+        self,
+        env: Environment,
+        rm: ResourceManager,
+        hdfs: Hdfs,
+        shuffle: ShuffleServices,
+        name: str = "tez",
+        queue: str = "default",
+        config: Optional[TezConfig] = None,
+        session: bool = False,
+        am_resource: Resource = Resource(2048, 1),
+        am_max_attempts: int = 2,
+    ):
+        self.env = env
+        self.rm = rm
+        self.hdfs = hdfs
+        self.shuffle = shuffle
+        self.name = name
+        self.queue = queue
+        self.config = config or TezConfig()
+        self.session = session
+        self.am_resource = am_resource
+        self.am_max_attempts = am_max_attempts
+        self.recovery = RecoveryLog()
+        self._requests: Store = Store(env)
+        self._app_handle = None
+        self._inflight: Optional[DAGHandle] = None
+        self._started = False
+        self._stopped = False
+        self.last_am: Optional[DAGAppMaster] = None
+
+    # ------------------------------------------------------------- session
+    def start(self) -> None:
+        """Start the session AM (no-op for non-session clients)."""
+        if not self.session or self._started:
+            return
+        self._started = True
+        self._app_handle = self.rm.submit_application(
+            f"{self.name}-session",
+            self._session_am,
+            queue=self.queue,
+            am_resource=self.am_resource,
+            max_attempts=self.am_max_attempts,
+        )
+
+    def submit_dag(self, dag: DAG) -> DAGHandle:
+        if self._stopped:
+            raise RuntimeError("client is stopped")
+        handle = DAGHandle(self.env, dag)
+        if self.session:
+            self.start()
+            self._requests.put(handle)
+            self._watch_app(self._app_handle, handle)
+        else:
+            app = self.rm.submit_application(
+                f"{self.name}:{dag.name}",
+                lambda ctx, h=handle: self._single_dag_am(ctx, h),
+                queue=self.queue,
+                am_resource=self.am_resource,
+                max_attempts=self.am_max_attempts,
+            )
+            self._watch_app(app, handle)
+        return handle
+
+    def _watch_app(self, app, handle: DAGHandle) -> None:
+        """Fail the DAG handle if the AM application dies for good."""
+
+        def watch() -> Generator:
+            yield app.completion
+            if handle.status is None:
+                from .am.dag_app_master import DAGStatus
+                from .am.structures import DAGState
+
+                handle._finish(DAGStatus(
+                    name=handle.dag.name,
+                    state=DAGState.FAILED,
+                    start_time=app.submit_time,
+                    finish_time=self.env.now,
+                    diagnostics=f"application failed: {app.diagnostics}",
+                ))
+
+        self.env.process(watch(), name=f"watch:{handle.dag.name}")
+
+    def run_dag(self, dag: DAG) -> Generator:
+        """Process: submit and wait; returns the DAGStatus."""
+        handle = self.submit_dag(dag)
+        status = yield handle.completion
+        return status
+
+    def prewarm(self, count: int, memory_mb: int = 1024,
+                vcores: int = 1) -> None:
+        """Ask the session AM to warm ``count`` containers up front."""
+        if not self.session:
+            raise RuntimeError("pre-warm requires session mode")
+        self.start()
+        self._requests.put(_Prewarm(count, Resource(memory_mb, vcores)))
+
+    def stop(self) -> None:
+        if self.session and self._started and not self._stopped:
+            self._requests.put(_STOP)
+        self._stopped = True
+
+    # ------------------------------------------------------------ AM bodies
+    def _make_am(self, ctx) -> DAGAppMaster:
+        services = FrameworkServices(
+            self.env, self.rm.cluster, self.hdfs, self.shuffle
+        )
+        am = DAGAppMaster(ctx, services, self.config, recovery=self.recovery)
+        self.last_am = am
+        return am
+
+    def _single_dag_am(self, ctx, handle: DAGHandle) -> Generator:
+        am = self._make_am(ctx)
+        try:
+            status = yield from am.execute_dag(handle.dag)
+        finally:
+            am.shutdown()
+        handle._finish(status)
+        final = (
+            FinalApplicationStatus.SUCCEEDED
+            if status.succeeded
+            else FinalApplicationStatus.FAILED
+        )
+        ctx.unregister(final, diagnostics=status.diagnostics, result=status)
+
+    def _session_am(self, ctx) -> Generator:
+        am = self._make_am(ctx)
+        am.scheduler.session_waiting = True
+        try:
+            # AM-restart recovery: finish the interrupted DAG first.
+            if self._inflight is not None and ctx.attempt > 1:
+                handle = self._inflight
+                status = yield from am.execute_dag(handle.dag)
+                self._inflight = None
+                handle._finish(status)
+            while True:
+                msg = yield self._requests.get()
+                if msg is _STOP:
+                    break
+                if isinstance(msg, _Prewarm):
+                    am.scheduler.prewarm(msg.count, msg.capability)
+                    continue
+                handle: DAGHandle = msg
+                self._inflight = handle
+                status = yield from am.execute_dag(handle.dag)
+                self._inflight = None
+                handle._finish(status)
+        finally:
+            am.shutdown()
+        ctx.unregister(FinalApplicationStatus.SUCCEEDED)

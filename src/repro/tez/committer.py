@@ -1,0 +1,45 @@
+"""DataSinkCommitter: exactly-once output visibility (paper 3.1).
+
+Commit "is guaranteed to be done once, and typically involves making
+the output visible to external observers after successful completion".
+Task outputs are written to attempt-scoped staging locations; the
+committer promotes the winning attempts' outputs on DAG success and
+discards everything on failure. This is what makes task re-execution
+and speculation side-effect free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+__all__ = ["OutputCommitter", "CommitterContext"]
+
+
+class CommitterContext:
+    def __init__(self, env, hdfs, dag_name: str, vertex_name: str,
+                 output_name: str, winners: dict[int, int] | None = None):
+        self.env = env
+        self.hdfs = hdfs
+        self.dag_name = dag_name
+        self.vertex_name = vertex_name
+        self.output_name = output_name
+        # task_index -> winning attempt number (set by the AM so the
+        # committer promotes exactly the successful attempts' outputs).
+        self.winners = winners or {}
+
+
+class OutputCommitter:
+    def __init__(self, ctx: CommitterContext, payload: Any = None):
+        self.ctx = ctx
+        self.payload = payload
+
+    def setup(self) -> Generator:
+        yield from ()
+
+    def commit(self) -> Generator:
+        """Promote staged task outputs to the final location."""
+        yield from ()
+
+    def abort(self) -> Generator:
+        """Discard staged outputs after failure."""
+        yield from ()

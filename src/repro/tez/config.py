@@ -1,0 +1,41 @@
+"""Tez framework configuration (the knobs of paper section 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TezConfig"]
+
+
+@dataclass
+class TezConfig:
+    # -- fault tolerance -----------------------------------------------------
+    max_task_attempts: int = 4
+    count_killed_as_failure: bool = False
+    task_retry_delay: float = 1.0   # back-off before retrying a failure
+
+    # -- container reuse / sessions (paper 4.2) ------------------------------
+    container_reuse: bool = True
+    reuse_rack_fallback: bool = True
+    reuse_any_fallback: bool = True
+    container_idle_timeout: float = 10.0
+    session_idle_timeout: float = 60.0   # idle cap while a session waits
+
+    # -- speculation (paper 4.2) ----------------------------------------------
+    speculation_enabled: bool = False
+    speculation_min_completed: int = 3
+    speculation_slowdown_factor: float = 1.5
+    speculation_check_interval: float = 2.0
+
+    # -- deadlock handling (paper 3.4) ------------------------------------------
+    deadlock_check_interval: float = 10.0
+    deadlock_pending_timeout: float = 30.0
+
+    # -- commit ---------------------------------------------------------------
+    commit_on_dag_success: bool = True
+
+    def __post_init__(self):
+        if self.max_task_attempts < 1:
+            raise ValueError("max_task_attempts must be >= 1")
+        if self.speculation_slowdown_factor <= 1.0:
+            raise ValueError("speculation_slowdown_factor must exceed 1.0")

@@ -1,0 +1,133 @@
+"""The event-based control plane (paper section 3.3).
+
+All communication — framework to framework, application to framework,
+application to application — travels as events with opaque payloads.
+Tez only routes them: a DataMovementEvent produced by a task output is
+routed along the edge's connection pattern to the right consumer task
+input; error events travel from inputs back to the framework to drive
+re-execution; VertexManagerEvents carry application statistics to
+vertex managers; InputInitializerEvents target root-input initializers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = [
+    "TezEvent",
+    "DataMovementEvent",
+    "CompositeDataMovementEvent",
+    "InputReadErrorEvent",
+    "InputFailedEvent",
+    "VertexManagerEvent",
+    "InputInitializerEvent",
+    "TaskAttemptCompletedEvent",
+    "TaskAttemptFailedEvent",
+]
+
+_event_counter = itertools.count(1)
+
+
+@dataclass
+class TezEvent:
+    """Base event; concrete subclasses below."""
+
+    def __post_init__(self):
+        self.event_id = next(_event_counter)
+
+
+@dataclass
+class DataMovementEvent(TezEvent):
+    """Producer output metadata for one (source task, source output
+    partition). The payload is opaque to Tez — in practice a SpillRef,
+    an HDFS path, or anything the paired input understands."""
+
+    source_vertex: str
+    source_task_index: int
+    source_output_index: int   # partition index at the producer
+    payload: Any
+    version: int = 0           # attempt number that produced the data
+
+    target_input_index: Optional[int] = None  # filled in by routing
+
+
+@dataclass
+class CompositeDataMovementEvent(TezEvent):
+    """Compact form: one event covering a contiguous partition range."""
+
+    source_vertex: str
+    source_task_index: int
+    source_output_start: int
+    count: int
+    payload: Any
+    version: int = 0
+
+    def expand(self) -> list[DataMovementEvent]:
+        return [
+            DataMovementEvent(
+                source_vertex=self.source_vertex,
+                source_task_index=self.source_task_index,
+                source_output_index=self.source_output_start + i,
+                payload=self.payload,
+                version=self.version,
+            )
+            for i in range(self.count)
+        ]
+
+
+@dataclass
+class InputReadErrorEvent(TezEvent):
+    """A consumer input failed to read a producer's output; the
+    framework walks the DAG back and re-executes the producer."""
+
+    source_vertex: str
+    source_task_index: int
+    version: int
+    diagnostics: str = ""
+
+
+@dataclass
+class InputFailedEvent(TezEvent):
+    """Tells a consumer input that a producer output version is dead
+    (it is being regenerated; a fresh DataMovementEvent will follow)."""
+
+    source_vertex: str
+    source_task_index: int
+    version: int
+
+
+@dataclass
+class VertexManagerEvent(TezEvent):
+    """Application statistics for a vertex manager (e.g. producers
+    reporting output sizes for partition-cardinality estimation)."""
+
+    target_vertex: str
+    payload: Any
+    producer_task_index: Optional[int] = None
+
+
+@dataclass
+class InputInitializerEvent(TezEvent):
+    """Application metadata for a root-input initializer (e.g. Hive
+    dynamic partition pruning sends the surviving partition ids)."""
+
+    target_vertex: str
+    target_input: str
+    payload: Any
+
+
+@dataclass
+class TaskAttemptCompletedEvent(TezEvent):
+    vertex: str
+    task_index: int
+    attempt: int
+
+
+@dataclass
+class TaskAttemptFailedEvent(TezEvent):
+    vertex: str
+    task_index: int
+    attempt: int
+    diagnostics: str = ""

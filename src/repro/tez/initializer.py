@@ -1,0 +1,72 @@
+"""DataSourceInitializer / InputInitializer (paper section 3.5).
+
+Root data sources are first-class: before the tasks of a source-reading
+vertex are created, its initializer runs *in the AM* with access to
+accurate runtime information (data distribution, locality, cluster
+capacity) and decides how the input is split. It may also wait for
+InputInitializerEvents from other parts of the running DAG — the hook
+Hive's dynamic partition pruning uses to shrink the split set based on
+join keys observed at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from ..sim import Environment, Store
+from .events import InputInitializerEvent
+
+__all__ = ["InputSplit", "InitializerContext", "InputInitializer"]
+
+
+@dataclass
+class InputSplit:
+    """One task's share of a root input."""
+
+    payload: Any                       # interpreted by the paired Input
+    preferred_nodes: tuple[str, ...] = ()
+    length_bytes: int = 0
+
+
+class InitializerContext:
+    """AM-side services exposed to initializers."""
+
+    def __init__(self, env: Environment, hdfs, cluster,
+                 vertex_name: str, input_name: str,
+                 requested_parallelism: int):
+        self.env = env
+        self.hdfs = hdfs
+        self.cluster = cluster
+        self.vertex_name = vertex_name
+        self.input_name = input_name
+        self.requested_parallelism = requested_parallelism
+        self.events: Store = Store(env)
+
+    def total_cluster_slots(self) -> int:
+        """Rough available task capacity (for sizing splits)."""
+        return sum(n.cores for n in self.cluster.live_nodes())
+
+    def deliver_event(self, event: InputInitializerEvent) -> None:
+        self.events.put(event)
+
+    def wait_for_events(self, count: int) -> Generator:
+        """Process: wait for ``count`` initializer events; returns them."""
+        received = []
+        while len(received) < count:
+            ev = yield self.events.get()
+            received.append(ev)
+        return received
+
+
+class InputInitializer:
+    """Computes the splits for one root input at runtime."""
+
+    def __init__(self, ctx: InitializerContext, payload: Any = None):
+        self.ctx = ctx
+        self.payload = payload
+
+    def initialize(self) -> Generator:
+        """Process returning list[InputSplit]."""
+        raise NotImplementedError
+        yield  # pragma: no cover

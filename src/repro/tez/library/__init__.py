@@ -1,0 +1,39 @@
+"""Built-in runtime library: ready-to-use inputs, outputs, processors."""
+
+from .hdfs_io import (
+    HdfsInput,
+    HdfsInputInitializer,
+    HdfsOutput,
+    HdfsOutputCommitter,
+    staging_path,
+)
+from .processors import FnProcessor, NoOpProcessor, SleepProcessor
+from .shuffle_io import (
+    BroadcastKVInput,
+    BroadcastKVOutput,
+    OneToOneInput,
+    OneToOneOutput,
+    OrderedGroupedKVInput,
+    OrderedPartitionedKVOutput,
+    UnorderedKVInput,
+    UnorderedPartitionedKVOutput,
+)
+
+__all__ = [
+    "BroadcastKVInput",
+    "BroadcastKVOutput",
+    "FnProcessor",
+    "HdfsInput",
+    "HdfsInputInitializer",
+    "HdfsOutput",
+    "HdfsOutputCommitter",
+    "NoOpProcessor",
+    "OneToOneInput",
+    "OneToOneOutput",
+    "OrderedGroupedKVInput",
+    "OrderedPartitionedKVOutput",
+    "SleepProcessor",
+    "UnorderedKVInput",
+    "UnorderedPartitionedKVOutput",
+    "staging_path",
+]

@@ -1,0 +1,76 @@
+"""Generic processors.
+
+:class:`FnProcessor` is the workhorse the engines build on: the payload
+carries a plain function from input data to output data — exactly the
+paper's 'generic processor host that can be configured to execute DAG
+dependent operators' (section 4.1), with the operator pipeline injected
+through the opaque payload (code injection, section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from ..runtime import LogicalInput, LogicalOutput, Processor, TaskContext
+
+__all__ = ["FnProcessor", "NoOpProcessor", "SleepProcessor"]
+
+
+class FnProcessor(Processor):
+    """Runs ``payload['fn']``: (ctx, {input_name: records}) ->
+    {output_name: records}.
+
+    Reads every logical input, applies the function, and writes the
+    produced record lists to the matching logical outputs. CPU time is
+    charged per record in and out (override the per-record weight with
+    ``payload['cpu_per_record']``; add fixed overhead with
+    ``payload['setup_seconds']``).
+    """
+
+    def run(self, inputs: dict[str, LogicalInput],
+            outputs: dict[str, LogicalOutput]) -> Generator:
+        payload = self.payload or {}
+        fn: Callable = payload["fn"]
+        setup = payload.get("setup_seconds", 0.0)
+        if setup:
+            yield self.ctx.compute(setup)
+        data: dict[str, Any] = {}
+        for name, logical_input in inputs.items():
+            data[name] = yield self.ctx.env.process(
+                logical_input.reader(),
+                name=f"read:{self.ctx.task.attempt_id}:{name}",
+            )
+        result = fn(self.ctx, data) or {}
+        unknown = set(result) - set(outputs)
+        if unknown:
+            raise ValueError(
+                f"processor produced records for unknown outputs {unknown}"
+            )
+        n_in = sum(len(v) for v in data.values())
+        n_out = sum(len(v) for v in result.values())
+        per_record = payload.get(
+            "cpu_per_record", self.ctx.services.spec.cpu_cost_per_record
+        )
+        yield self.ctx.compute((n_in + n_out) * per_record)
+        for name, records in result.items():
+            yield self.ctx.env.process(
+                outputs[name].write(records),
+                name=f"write:{self.ctx.task.attempt_id}:{name}",
+            )
+
+
+class NoOpProcessor(Processor):
+    """Reads inputs, writes nothing (sink-less barrier vertices)."""
+
+    def run(self, inputs, outputs) -> Generator:
+        for name, logical_input in inputs.items():
+            yield self.ctx.env.process(logical_input.reader(),
+                                       name=f"read:{name}")
+
+
+class SleepProcessor(Processor):
+    """Burns ``payload['seconds']`` of compute (tests, pre-warm)."""
+
+    def run(self, inputs, outputs) -> Generator:
+        seconds = (self.payload or {}).get("seconds", 1.0)
+        yield self.ctx.compute(seconds)

@@ -1,0 +1,54 @@
+"""Shared object registry (paper section 4.2).
+
+A per-container in-memory cache surviving across the tasks that reuse
+the container. Entries are scoped to a vertex, a DAG, or the session;
+the framework clears the matching entries when that scope ends. Hive
+uses this to build a broadcast-join hash table once per container.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["ObjectRegistry", "Scope"]
+
+
+class Scope:
+    VERTEX = "VERTEX"
+    DAG = "DAG"
+    SESSION = "SESSION"
+
+
+class ObjectRegistry:
+    def __init__(self):
+        # key -> (scope, scope_id, value)
+        self._entries: dict[str, tuple[str, str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def put(self, scope: str, scope_id: str, key: str, value: Any) -> None:
+        if scope not in (Scope.VERTEX, Scope.DAG, Scope.SESSION):
+            raise ValueError(f"unknown scope {scope!r}")
+        self._entries[key] = (scope, scope_id, value)
+
+    def get(self, key: str) -> Optional[Any]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry[2]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def clear_scope(self, scope: str, scope_id: str) -> None:
+        """Drop all entries registered under (scope, scope_id)."""
+        self._entries = {
+            k: v
+            for k, v in self._entries.items()
+            if not (v[0] == scope and v[1] == scope_id)
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,31 @@
+"""Synthetic workload generators scaled for the simulated cluster."""
+
+from .etl import ETL_SCRIPTS, build_script, generate_events, load_etl_data
+from .kmeans import (
+    centroids_from_rows,
+    generate_points,
+    initial_centroids,
+    kmeans_iteration_script,
+    reference_kmeans_step,
+)
+from .tpcds import TPCDS_QUERIES, generate_tpcds, register_tpcds
+from .tpch import TPCH_QUERIES, generate_tpch
+from .tpch import register_tpch
+
+__all__ = [
+    "ETL_SCRIPTS",
+    "TPCDS_QUERIES",
+    "TPCH_QUERIES",
+    "build_script",
+    "centroids_from_rows",
+    "generate_events",
+    "generate_points",
+    "generate_tpcds",
+    "generate_tpch",
+    "initial_centroids",
+    "kmeans_iteration_script",
+    "load_etl_data",
+    "reference_kmeans_step",
+    "register_tpcds",
+    "register_tpch",
+]

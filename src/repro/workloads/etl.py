@@ -1,0 +1,144 @@
+"""Synthetic production-ETL workloads (Figure 10 substitute).
+
+Builds Pig scripts with the characteristics the paper lists for the
+Yahoo production tests: complex DAGs (up to dozens of logical
+operators), combinations of group-by / union / distinct / join /
+order-by, and skewed inputs. Sizes scale with ``scale``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from ..engines.pig import PigScript
+
+__all__ = ["generate_events", "generate_profiles", "ETL_SCRIPTS",
+           "build_script"]
+
+EVENT_TYPES = ["view", "click", "buy", "share"]
+COUNTRIES = ["US", "GB", "DE", "IN", "JP", "BR"]
+
+
+def generate_events(n: int, seed: int = 11) -> list:
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        user = f"u{int((rng.random() ** 2) * (n // 10 + 1))}"  # skewed
+        out.append((
+            user,
+            rng.choice(EVENT_TYPES),
+            rng.randint(0, 86400),
+            rng.choice(COUNTRIES),
+            round(rng.uniform(0, 50), 2),
+        ))
+    return out
+
+
+def generate_profiles(n_users: int, seed: int = 13) -> list:
+    rng = random.Random(seed)
+    return [
+        (f"u{u}", rng.randint(13, 90), rng.choice(COUNTRIES))
+        for u in range(n_users)
+    ]
+
+
+EVENTS_SCHEMA = ["user", "etype", "ts", "country", "value"]
+PROFILE_SCHEMA = ["user", "age", "home"]
+
+
+def _sessionize(s: PigScript) -> PigScript:
+    """Group-heavy session statistics script (~8 operators)."""
+    events = s.load("/etl/events", EVENTS_SCHEMA)
+    useful = events.filter(lambda r: r["etype"] != "share")
+    by_user = useful.aggregate(
+        ["user"],
+        {"events": ("count", None), "spend": ("sum", "value"),
+         "first_ts": ("min", "ts"), "last_ts": ("max", "ts")},
+    )
+    active = by_user.filter(lambda r: r["events"] >= 2)
+    ranked = active.order_by(["spend"], ascending=False, parallel=4)
+    ranked.store("/etl/out/sessions")
+    return s
+
+
+def _funnel(s: PigScript) -> PigScript:
+    """Union + distinct + join funnel analysis (~14 operators)."""
+    events = s.load("/etl/events", EVENTS_SCHEMA)
+    profiles = s.load("/etl/profiles", PROFILE_SCHEMA)
+    views = events.filter(lambda r: r["etype"] == "view")
+    clicks = events.filter(lambda r: r["etype"] == "click")
+    engaged = views.union(clicks)
+    users = engaged.foreach(lambda r: {"user": r["user"]}, ["user"]) \
+        .distinct()
+    buyers = events.filter(lambda r: r["etype"] == "buy") \
+        .foreach(lambda r: {"user": r["user"]}, ["user"]).distinct()
+    funnel = users.join(buyers, ["user"], ["user"])
+    enriched = funnel.join(profiles, ["user"], ["user"])
+    by_geo = enriched.aggregate(
+        ["home"], {"buyers": ("count", None), "avg_age": ("avg", "age")}
+    )
+    by_geo.order_by(["buyers"], ascending=False, parallel=2) \
+        .store("/etl/out/funnel")
+    return s
+
+
+def _reporting(s: PigScript) -> PigScript:
+    """Multi-store reporting pipeline (shared subexpressions, ~20 ops)."""
+    events = s.load("/etl/events", EVENTS_SCHEMA)
+    profiles = s.load("/etl/profiles", PROFILE_SCHEMA)
+    valid = events.filter(lambda r: r["value"] >= 0)
+    enriched = valid.join(profiles, ["user"], ["user"])
+    by_country = enriched.aggregate(
+        ["country"],
+        {"n": ("count", None), "rev": ("sum", "value")},
+    )
+    by_country.store("/etl/out/by_country")
+    by_type = enriched.aggregate(
+        ["etype"], {"n": ("count", None), "rev": ("sum", "value")}
+    )
+    by_type.store("/etl/out/by_type")
+    minors = enriched.filter(lambda r: r["age"] < 18)
+    minors.aggregate(["country"], {"n": ("count", None)}) \
+        .store("/etl/out/minors")
+    adults = enriched.filter(lambda r: r["age"] >= 18)
+    spend = adults.aggregate(
+        ["user"], {"spend": ("sum", "value")}
+    )
+    spend.order_by(["spend"], ascending=False, parallel=4).limit(20) \
+        .store("/etl/out/top_spenders")
+    return s
+
+
+def _skew_join(s: PigScript) -> PigScript:
+    """Skew-aware join script (the histogram machinery, ~8 operators)."""
+    events = s.load("/etl/events", EVENTS_SCHEMA)
+    profiles = s.load("/etl/profiles", PROFILE_SCHEMA)
+    joined = events.join(profiles, ["user"], ["user"], skewed=True)
+    stats = joined.aggregate(
+        ["home"], {"events": ("count", None), "rev": ("sum", "value")}
+    )
+    stats.order_by(["rev"], ascending=False, parallel=2) \
+        .store("/etl/out/skewjoin")
+    return s
+
+
+ETL_SCRIPTS: dict[str, Callable[[PigScript], PigScript]] = {
+    "sessionize": _sessionize,
+    "funnel": _funnel,
+    "reporting": _reporting,
+    "skew_join": _skew_join,
+}
+
+
+def build_script(name: str) -> PigScript:
+    script = PigScript(name)
+    return ETL_SCRIPTS[name](script)
+
+
+def load_etl_data(hdfs, scale: int = 1, seed: int = 11) -> None:
+    events = generate_events(2000 * scale, seed=seed)
+    profiles = generate_profiles(200 * scale + 1, seed=seed + 1)
+    hdfs.write("/etl/events", events, record_bytes=64, overwrite=True)
+    hdfs.write("/etl/profiles", profiles, record_bytes=32,
+               overwrite=True)

@@ -1,0 +1,112 @@
+"""K-means iterative workload (Figure 11 substitute).
+
+The paper runs a k-means PIG script for 10/50/100 iterations over a
+10,000-row input: each iteration is one DAG (assign points to nearest
+centroid, recompute centroids) submitted to a shared Tez session —
+versus one MapReduce job per iteration. This module provides the data
+generator and the per-iteration Pig script builder, plus a pure-Python
+reference implementation for correctness checks.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence
+
+from ..engines.pig import PigScript
+
+__all__ = ["generate_points", "kmeans_iteration_script",
+           "reference_kmeans_step", "initial_centroids"]
+
+
+def generate_points(n: int = 10_000, k: int = 4, dim: int = 2,
+                    seed: int = 23) -> list:
+    """Gaussian blobs around k true centers; rows (point_id, x, y)."""
+    rng = random.Random(seed)
+    centers = [
+        tuple(rng.uniform(-50, 50) for _ in range(dim)) for _ in range(k)
+    ]
+    points = []
+    for i in range(n):
+        cx = centers[i % k]
+        coords = tuple(rng.gauss(c, 4.0) for c in cx)
+        points.append((i, *coords))
+    return points
+
+
+def initial_centroids(points: Sequence, k: int) -> list[tuple]:
+    """First-k seeding (deterministic)."""
+    return [tuple(p[1:]) for p in points[:k]]
+
+
+def _nearest(coords: tuple, centroids: list[tuple]) -> int:
+    best, best_d = 0, float("inf")
+    for idx, c in enumerate(centroids):
+        d = sum((a - b) ** 2 for a, b in zip(coords, c))
+        if d < best_d:
+            best, best_d = idx, d
+    return best
+
+
+def kmeans_iteration_script(centroids: list[tuple], points_path: str,
+                            out_path: str, dim: int = 2) -> PigScript:
+    """One k-means iteration as a Pig dataflow.
+
+    Assign each point to its nearest centroid (FOREACH with the current
+    centroids injected as a UDF closure — Tez's opaque payload code
+    injection), then aggregate per-cluster sums to produce the new
+    centroids.
+    """
+    schema = ["pid"] + [f"x{d}" for d in range(dim)]
+    script = PigScript("kmeans_iter")
+    points = script.load(points_path, schema)
+
+    def assign(row, _c=list(centroids), _dim=dim):
+        coords = tuple(row[f"x{d}"] for d in range(_dim))
+        out = {"cluster": _nearest(coords, _c)}
+        for d in range(_dim):
+            out[f"x{d}"] = coords[d]
+        return out
+
+    assigned = points.foreach(
+        assign, ["cluster"] + [f"x{d}" for d in range(dim)]
+    )
+    aggs = {"n": ("count", None)}
+    for d in range(dim):
+        aggs[f"sx{d}"] = ("sum", f"x{d}")
+    sums = assigned.aggregate(["cluster"], aggs)
+    sums.store(out_path)
+    return script
+
+
+def centroids_from_rows(rows: list[tuple], k: int,
+                        previous: list[tuple], dim: int = 2) -> list[tuple]:
+    """New centroids from the aggregation output (clusters with no
+    members keep their previous centroid)."""
+    new = list(previous)
+    for row in rows:
+        cluster, n = row[0], row[1]
+        sums = row[2: 2 + dim]
+        if n:
+            new[cluster] = tuple(s / n for s in sums)
+    return new
+
+
+def reference_kmeans_step(points: Sequence, centroids: list[tuple],
+                          dim: int = 2) -> list[tuple]:
+    """Pure-python single iteration (ground truth for tests)."""
+    k = len(centroids)
+    counts = [0] * k
+    sums = [[0.0] * dim for _ in range(k)]
+    for p in points:
+        coords = tuple(p[1: 1 + dim])
+        c = _nearest(coords, centroids)
+        counts[c] += 1
+        for d in range(dim):
+            sums[c][d] += coords[d]
+    out = list(centroids)
+    for c in range(k):
+        if counts[c]:
+            out[c] = tuple(s / counts[c] for s in sums[c])
+    return out

@@ -1,0 +1,157 @@
+"""TPC-DS-like synthetic star schema (Figure 8 substitute).
+
+A retail star: a large partitioned fact (store_sales) plus dimensions
+(date_dim, item, customer, store). The query set mirrors the
+interactive TPC-DS derivatives used for Hive benchmarking: scan+agg
+reports, fact-dimension joins that favour broadcast (map) joins, a
+bushy multi-dimension join, and a dynamic-partition-pruning query
+(date-restricted fact scan through a filtered date dimension).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..engines.hive import Catalog
+
+__all__ = ["TpcdsTables", "generate_tpcds", "register_tpcds",
+           "TPCDS_QUERIES"]
+
+CATEGORIES = ["Books", "Electronics", "Home", "Jewelry", "Music",
+              "Shoes", "Sports", "Toys"]
+STATES = ["CA", "NY", "TX", "WA", "IL", "GA"]
+YEARS = [1998, 1999, 2000, 2001, 2002]
+
+
+@dataclass
+class TpcdsTables:
+    store_sales: list
+    date_dim: list
+    item: list
+    customer: list
+    store: list
+
+
+def generate_tpcds(scale: int = 1, seed: int = 7) -> TpcdsTables:
+    """Rows: store_sales ≈ 4000·s; dims small (realistic star ratio)."""
+    rng = random.Random(seed)
+    n_items = 100 * scale
+    n_cust = 200 * scale
+    n_stores = 6
+    n_dates = len(YEARS) * 12          # month granularity
+    n_sales = 4000 * scale
+
+    date_dim = []
+    d_keys = []
+    for y in YEARS:
+        for m in range(1, 13):
+            key = y * 100 + m
+            d_keys.append(key)
+            date_dim.append((key, y, m, (m - 1) // 3 + 1))
+    item = [
+        (i, f"Item#{i}", rng.choice(CATEGORIES),
+         round(rng.uniform(1.0, 300.0), 2))
+        for i in range(1, n_items + 1)
+    ]
+    customer = [
+        (c, f"Cust#{c}", rng.choice(STATES), rng.randint(18, 90))
+        for c in range(1, n_cust + 1)
+    ]
+    store = [
+        (s, f"Store#{s}", rng.choice(STATES)) for s in range(1, n_stores + 1)
+    ]
+    # Zipf-ish popularity for items; sales skew to recent years.
+    store_sales = []
+    for _ in range(n_sales):
+        # Skewed item choice.
+        r = rng.random()
+        item_key = 1 + int((r ** 2) * (n_items - 1))
+        date_key = rng.choice(d_keys[-24:]) if rng.random() < 0.6 \
+            else rng.choice(d_keys)
+        qty = rng.randint(1, 20)
+        price = round(rng.uniform(1.0, 300.0), 2)
+        store_sales.append((
+            date_key, item_key, rng.randint(1, n_cust),
+            rng.randint(1, n_stores), qty,
+            round(qty * price, 2), round(qty * price * 0.8, 2),
+        ))
+    return TpcdsTables(store_sales, date_dim, item, customer, store)
+
+
+def register_tpcds(catalog: Catalog, hdfs, tables: TpcdsTables,
+                   row_bytes_factor: int = 1) -> None:
+    catalog.create_table(
+        hdfs, "store_sales",
+        ["ss_sold_date_sk", "ss_item_sk", "ss_customer_sk",
+         "ss_store_sk", "ss_quantity", "ss_sales_price", "ss_net_paid"],
+        tables.store_sales, row_bytes=100 * row_bytes_factor,
+        partition_column="ss_sold_date_sk",
+    )
+    catalog.create_table(
+        hdfs, "date_dim", ["d_date_sk", "d_year", "d_moy", "d_qoy"],
+        tables.date_dim, row_bytes=32,
+    )
+    catalog.create_table(
+        hdfs, "item", ["i_item_sk", "i_name", "i_category", "i_price"],
+        tables.item, row_bytes=80,
+    )
+    catalog.create_table(
+        hdfs, "customer",
+        ["c_customer_sk", "c_name", "c_state", "c_age"],
+        tables.customer, row_bytes=80,
+    )
+    catalog.create_table(
+        hdfs, "store", ["s_store_sk", "s_name", "s_state"],
+        tables.store, row_bytes=48,
+    )
+
+
+TPCDS_QUERIES = {
+    # q3-like: sales by brand for one month (DPP through date_dim).
+    "q3_monthly_sales": (
+        "SELECT i_category, SUM(ss_sales_price) AS revenue "
+        "FROM store_sales JOIN date_dim "
+        "ON ss_sold_date_sk = d_date_sk "
+        "JOIN item ON ss_item_sk = i_item_sk "
+        "WHERE d_year = 2002 AND d_moy = 11 "
+        "GROUP BY i_category ORDER BY revenue DESC"
+    ),
+    # q7-like: average quantities per category with customer filter.
+    "q7_demographics": (
+        "SELECT i_category, AVG(ss_quantity) AS avg_qty, "
+        "COUNT(*) AS n FROM store_sales "
+        "JOIN item ON ss_item_sk = i_item_sk "
+        "JOIN customer ON ss_customer_sk = c_customer_sk "
+        "WHERE c_age BETWEEN 30 AND 50 "
+        "GROUP BY i_category ORDER BY i_category"
+    ),
+    # q19-like: store revenue by state for a quarter (bushy join).
+    "q19_store_revenue": (
+        "SELECT s_state, SUM(ss_net_paid) AS paid "
+        "FROM store_sales JOIN date_dim ON ss_sold_date_sk = d_date_sk "
+        "JOIN store ON ss_store_sk = s_store_sk "
+        "WHERE d_year = 2001 AND d_qoy = 2 "
+        "GROUP BY s_state ORDER BY paid DESC"
+    ),
+    # q42-like: category revenue for a year.
+    "q42_category_year": (
+        "SELECT d_year, i_category, SUM(ss_sales_price) AS rev "
+        "FROM store_sales JOIN date_dim ON ss_sold_date_sk = d_date_sk "
+        "JOIN item ON ss_item_sk = i_item_sk WHERE d_year = 2000 "
+        "GROUP BY d_year, i_category ORDER BY rev DESC LIMIT 5"
+    ),
+    # q52-like variant: top items one month.
+    "q52_top_items": (
+        "SELECT i_name, SUM(ss_sales_price) AS rev FROM store_sales "
+        "JOIN item ON ss_item_sk = i_item_sk "
+        "JOIN date_dim ON ss_sold_date_sk = d_date_sk "
+        "WHERE d_year = 2002 AND d_moy = 12 "
+        "GROUP BY i_name ORDER BY rev DESC LIMIT 10"
+    ),
+    # q55-like scan-heavy single-table report.
+    "q55_scan_agg": (
+        "SELECT ss_store_sk, COUNT(*) AS n, SUM(ss_quantity) AS qty "
+        "FROM store_sales GROUP BY ss_store_sk ORDER BY ss_store_sk"
+    ),
+}

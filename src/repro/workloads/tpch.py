@@ -1,0 +1,162 @@
+"""TPC-H-like synthetic schema (scaled down; same shapes/skews).
+
+Substitutes for the 10 TB TPC-H derived workload of Figure 9: identical
+schema relationships (lineitem→orders→customer, part/supplier), Zipfian
+key popularity and realistic selectivities — at a row count a laptop
+simulation handles. Scale is controlled by ``scale`` (≈ rows per
+"gigabyte"); the cost model's byte accounting is driven by row_bytes so
+simulated IO volumes track the nominal scale factor.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..engines.hive import Catalog
+
+__all__ = ["TpchTables", "generate_tpch", "TPCH_QUERIES"]
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+STATUSES = ["F", "O", "P"]
+SHIPMODES = ["AIR", "MAIL", "RAIL", "SHIP", "TRUCK"]
+YEARS = ["1994", "1995", "1996", "1997", "1998"]
+
+
+@dataclass
+class TpchTables:
+    customer: list
+    orders: list
+    lineitem: list
+    part: list
+    supplier: list
+
+
+def generate_tpch(scale: int = 1, seed: int = 42) -> TpchTables:
+    """Rows: customer=150·s, orders=1500·s, lineitem=~6000·s."""
+    rng = random.Random(seed)
+    n_cust = 150 * scale
+    n_orders = 1500 * scale
+    n_part = 200 * scale
+    n_supp = 10 * scale
+
+    customer = [
+        (c, f"Customer#{c}", rng.choice(REGIONS),
+         round(rng.uniform(-999, 9999), 2))
+        for c in range(1, n_cust + 1)
+    ]
+    part = [
+        (p, f"Part#{p}", rng.choice(["BRASS", "STEEL", "TIN", "NICKEL"]),
+         round(rng.uniform(900, 2000), 2))
+        for p in range(1, n_part + 1)
+    ]
+    supplier = [
+        (s, f"Supplier#{s}", rng.choice(REGIONS))
+        for s in range(1, n_supp + 1)
+    ]
+    orders = []
+    lineitem = []
+    for o in range(1, n_orders + 1):
+        cust = rng.randint(1, n_cust)
+        year = rng.choice(YEARS)
+        status = rng.choice(STATUSES)
+        total = 0.0
+        for line in range(1, rng.randint(1, 7) + 1):
+            qty = rng.randint(1, 50)
+            price = round(rng.uniform(1.0, 100.0) * qty, 2)
+            discount = round(rng.uniform(0.0, 0.1), 2)
+            tax = round(rng.uniform(0.0, 0.08), 2)
+            lineitem.append((
+                o, line, rng.randint(1, n_part),
+                rng.randint(1, n_supp), qty, price, discount, tax,
+                rng.choice(SHIPMODES), year,
+                rng.choice(["N", "R", "A"]),
+            ))
+            total += price
+        orders.append((o, cust, status, round(total, 2), year,
+                       rng.randint(0, 5)))
+    return TpchTables(customer, orders, lineitem, part, supplier)
+
+
+def register_tpch(catalog: Catalog, hdfs, tables: TpchTables,
+                  row_bytes_factor: int = 1) -> None:
+    """Write the tables to HDFS and register them with stats.
+
+    ``row_bytes_factor`` inflates nominal byte sizes to emulate larger
+    scale factors without more rows (the cost model sees the bytes)."""
+    catalog.create_table(
+        hdfs, "customer",
+        ["c_custkey", "c_name", "c_region", "c_acctbal"],
+        tables.customer, row_bytes=96 * row_bytes_factor,
+    )
+    catalog.create_table(
+        hdfs, "orders",
+        ["o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice",
+         "o_year", "o_shippriority"],
+        tables.orders, row_bytes=96 * row_bytes_factor,
+    )
+    catalog.create_table(
+        hdfs, "lineitem",
+        ["l_orderkey", "l_linenumber", "l_partkey", "l_suppkey",
+         "l_quantity", "l_extendedprice", "l_discount", "l_tax",
+         "l_shipmode", "l_shipyear", "l_returnflag"],
+        tables.lineitem, row_bytes=120 * row_bytes_factor,
+        partition_column="l_shipyear",
+    )
+    catalog.create_table(
+        hdfs, "part", ["p_partkey", "p_name", "p_type", "p_retailprice"],
+        tables.part, row_bytes=96 * row_bytes_factor,
+    )
+    catalog.create_table(
+        hdfs, "supplier", ["s_suppkey", "s_name", "s_region"],
+        tables.supplier, row_bytes=80 * row_bytes_factor,
+    )
+
+
+# TPC-H-derived queries (the Hive-friendly reformulations commonly used
+# for Hive benchmarking — pricing summary, volume by region, etc.).
+TPCH_QUERIES = {
+    # Q1-like: pricing summary report.
+    "q1_pricing": (
+        "SELECT l_returnflag, COUNT(*) AS n, SUM(l_quantity) AS qty, "
+        "SUM(l_extendedprice) AS revenue, AVG(l_discount) AS avg_disc "
+        "FROM lineitem WHERE l_shipyear <= '1997' "
+        "GROUP BY l_returnflag ORDER BY l_returnflag"
+    ),
+    # Q3-like: shipping priority.
+    "q3_priority": (
+        "SELECT o_orderkey, SUM(l_extendedprice) AS revenue, "
+        "o_shippriority FROM orders JOIN lineitem "
+        "ON o_orderkey = l_orderkey WHERE o_orderstatus = 'O' "
+        "GROUP BY o_orderkey, o_shippriority "
+        "ORDER BY revenue DESC LIMIT 10"
+    ),
+    # Q5-like: local supplier volume (multi-join).
+    "q5_volume": (
+        "SELECT c_region, SUM(l_extendedprice) AS revenue "
+        "FROM lineitem JOIN orders ON l_orderkey = o_orderkey "
+        "JOIN customer ON o_custkey = c_custkey "
+        "WHERE o_year = '1995' "
+        "GROUP BY c_region ORDER BY revenue DESC"
+    ),
+    # Q6-like: forecast revenue change (scan-heavy).
+    "q6_forecast": (
+        "SELECT SUM(l_extendedprice * l_discount) AS revenue "
+        "FROM lineitem WHERE l_shipyear = '1995' "
+        "AND l_discount BETWEEN 0.02 AND 0.08 AND l_quantity < 24"
+    ),
+    # Q12-like: shipmode and order priority.
+    "q12_shipmode": (
+        "SELECT l_shipmode, COUNT(*) AS n FROM orders "
+        "JOIN lineitem ON o_orderkey = l_orderkey "
+        "WHERE l_shipmode IN ('MAIL', 'SHIP') "
+        "GROUP BY l_shipmode ORDER BY l_shipmode"
+    ),
+    # Q14-like: promotion effect (join with part).
+    "q14_promo": (
+        "SELECT p_type, SUM(l_extendedprice) AS revenue "
+        "FROM lineitem JOIN part ON l_partkey = p_partkey "
+        "WHERE l_shipyear = '1996' GROUP BY p_type "
+        "ORDER BY revenue DESC"
+    ),
+}

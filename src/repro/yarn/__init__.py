@@ -1,0 +1,43 @@
+"""Simulated YARN: capacity scheduler, node managers, AM protocol."""
+
+from .container import Container
+from .node_manager import NodeManager
+from .records import (
+    ANY,
+    ApplicationId,
+    ContainerExitStatus,
+    ContainerId,
+    ContainerState,
+    ContainerStatus,
+    FinalApplicationStatus,
+    Priority,
+    Resource,
+    ResourceRequest,
+)
+from .resource_manager import AMContext, AppHandle, ResourceManager
+from .scheduler import CapacityScheduler, QueueConfig, SchedulerApp
+from .security import AuthenticationError, SecurityManager, Token
+
+__all__ = [
+    "AMContext",
+    "ANY",
+    "AppHandle",
+    "ApplicationId",
+    "AuthenticationError",
+    "CapacityScheduler",
+    "Container",
+    "ContainerExitStatus",
+    "ContainerId",
+    "ContainerState",
+    "ContainerStatus",
+    "FinalApplicationStatus",
+    "NodeManager",
+    "Priority",
+    "QueueConfig",
+    "Resource",
+    "ResourceManager",
+    "ResourceRequest",
+    "SchedulerApp",
+    "SecurityManager",
+    "Token",
+]

@@ -1,0 +1,137 @@
+"""YARN protocol records (the wire types of the RM/NM/AM protocols)."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+__all__ = [
+    "Resource",
+    "Priority",
+    "ApplicationId",
+    "ContainerId",
+    "ContainerState",
+    "ContainerExitStatus",
+    "ContainerStatus",
+    "ResourceRequest",
+    "FinalApplicationStatus",
+    "ANY",
+]
+
+ANY = "*"  # the wildcard resource-name (any node)
+
+
+@dataclass(frozen=True, order=True)
+class Resource:
+    """A resource capability: memory and virtual cores."""
+
+    memory_mb: int
+    vcores: int = 1
+
+    def __post_init__(self):
+        if self.memory_mb < 0 or self.vcores < 0:
+            raise ValueError("resources must be non-negative")
+
+    def fits_in(self, other: "Resource") -> bool:
+        return self.memory_mb <= other.memory_mb and self.vcores <= other.vcores
+
+    def __add__(self, other: "Resource") -> "Resource":
+        return Resource(self.memory_mb + other.memory_mb, self.vcores + other.vcores)
+
+    def __sub__(self, other: "Resource") -> "Resource":
+        return Resource(self.memory_mb - other.memory_mb, self.vcores - other.vcores)
+
+    def dominant_share(self, total: "Resource") -> float:
+        shares = []
+        if total.memory_mb:
+            shares.append(self.memory_mb / total.memory_mb)
+        if total.vcores:
+            shares.append(self.vcores / total.vcores)
+        return max(shares) if shares else 0.0
+
+
+@dataclass(frozen=True, order=True)
+class Priority:
+    value: int
+
+    def __post_init__(self):
+        if self.value < 0:
+            raise ValueError("priority must be >= 0")
+
+
+_app_counter = itertools.count(1)
+
+
+@dataclass(frozen=True, order=True)
+class ApplicationId:
+    cluster_ts: int
+    app_num: int
+
+    @classmethod
+    def new(cls, cluster_ts: int = 0) -> "ApplicationId":
+        return cls(cluster_ts, next(_app_counter))
+
+    def __str__(self) -> str:
+        return f"application_{self.cluster_ts}_{self.app_num:04d}"
+
+
+@dataclass(frozen=True, order=True)
+class ContainerId:
+    app_id: ApplicationId
+    container_num: int
+
+    def __str__(self) -> str:
+        return f"container_{self.app_id.cluster_ts}_{self.app_id.app_num:04d}_{self.container_num:06d}"
+
+
+class ContainerState(Enum):
+    NEW = "NEW"
+    RUNNING = "RUNNING"
+    COMPLETE = "COMPLETE"
+
+
+class ContainerExitStatus:
+    SUCCESS = 0
+    ABORTED = -100          # released by AM / RM
+    PREEMPTED = -102        # preempted by the scheduler
+    DISKS_FAILED = -101
+    NODE_LOST = -105        # node crashed
+    KILLED_BY_APP = -106
+
+
+@dataclass
+class ContainerStatus:
+    container_id: ContainerId
+    state: ContainerState
+    exit_status: int = 0
+    diagnostics: str = ""
+
+
+class FinalApplicationStatus(Enum):
+    UNDEFINED = "UNDEFINED"
+    SUCCEEDED = "SUCCEEDED"
+    FAILED = "FAILED"
+    KILLED = "KILLED"
+
+
+@dataclass
+class ResourceRequest:
+    """An AM's ask: N containers of some capability at a priority.
+
+    ``resource_name`` is a node id, a rack id, or :data:`ANY`. YARN
+    semantics: to get node-local placement with fallback, the AM sends
+    node-level, rack-level and ANY requests for the same priority, and
+    ``relax_locality`` governs whether fallback is allowed.
+    """
+
+    priority: Priority
+    capability: Resource
+    num_containers: int
+    resource_name: str = ANY
+    relax_locality: bool = True
+
+    def __post_init__(self):
+        if self.num_containers < 0:
+            raise ValueError("num_containers must be >= 0")

@@ -1,0 +1,348 @@
+"""ResourceManager: application lifecycle + the AM protocol.
+
+Applications are submitted as *AM factories*: callables that receive an
+:class:`AMContext` (the protocol handle: ask for containers, launch
+tasks on them, receive completion statuses, unregister) and return a
+generator to run as the ApplicationMaster process. The RM launches the
+AM in a container, restarts it on failure up to ``max_attempts`` (the
+hook Tez AM recovery builds on), and drives the scheduler tick.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from ..cluster import Cluster, Node
+from ..sim import Environment, Store
+from .container import Container
+from .node_manager import ContainerRunner, NodeManager
+from .records import (
+    ANY,
+    ApplicationId,
+    ContainerExitStatus,
+    ContainerId,
+    ContainerState,
+    ContainerStatus,
+    FinalApplicationStatus,
+    Priority,
+    Resource,
+)
+from .scheduler import CapacityScheduler, QueueConfig, SchedulerApp
+from .security import SecurityManager, Token
+
+__all__ = ["ResourceManager", "AMContext", "AppHandle"]
+
+AM_PRIORITY = Priority(0)
+
+
+class AppHandle:
+    """Client-side handle to a submitted application."""
+
+    def __init__(self, env: Environment, app_id: ApplicationId, name: str):
+        self.env = env
+        self.app_id = app_id
+        self.name = name
+        self.completion = env.event()
+        self.final_status = FinalApplicationStatus.UNDEFINED
+        self.diagnostics = ""
+        self.submit_time = env.now
+        self.finish_time: Optional[float] = None
+        self.result = None  # value passed by the AM at unregister
+
+    @property
+    def elapsed(self) -> Optional[float]:
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.submit_time
+
+
+class AMContext:
+    """The ApplicationMaster's handle on YARN (one per AM attempt)."""
+
+    def __init__(self, rm: "ResourceManager", app: SchedulerApp,
+                 handle: AppHandle, am_container: Container, attempt: int):
+        self.rm = rm
+        self.env = rm.env
+        self.app = app
+        self.handle = handle
+        self.am_container = am_container
+        self.attempt = attempt
+        self.app_id = app.app_id
+        self.allocated: Store = Store(rm.env)       # newly granted containers
+        self.completed: Store = Store(rm.env)       # ContainerStatus stream
+        self.amrm_token: Optional[Token] = None
+        self.nm_token: Optional[Token] = None
+        self.unregistered = False
+        self._node_loss_callbacks: list[Callable[[Node], None]] = []
+        app.on_allocate = self._deliver_allocation
+
+    # -- registration ------------------------------------------------------
+    def register(self) -> None:
+        self.amrm_token = self.rm.security.issue("AMRM", str(self.app_id))
+        self.nm_token = self.rm.security.issue("NM", str(self.app_id))
+
+    def unregister(self, final_status: FinalApplicationStatus,
+                   diagnostics: str = "", result=None) -> None:
+        self._check_registered()
+        self.unregistered = True
+        self.rm._app_unregistered(self, final_status, diagnostics, result)
+
+    def _check_registered(self) -> None:
+        self.rm.security.verify(self.amrm_token, "AMRM", str(self.app_id))
+
+    # -- container negotiation -------------------------------------------
+    def request_containers(
+        self,
+        priority: Priority,
+        capability: Resource,
+        nodes: Optional[list[str]] = None,
+        racks: Optional[list[str]] = None,
+        relax_locality: bool = True,
+        count: int = 1,
+    ) -> None:
+        self._check_registered()
+        nodes = nodes or []
+        racks = racks or []
+        if nodes and not racks and relax_locality:
+            racks = sorted(
+                {self.rm.cluster.nodes[n].rack for n in nodes
+                 if n in self.rm.cluster.nodes}
+            )
+        self.app.add_ask(priority, capability, nodes, racks,
+                         relax_locality, count)
+
+    def cancel_request(
+        self,
+        priority: Priority,
+        nodes: Optional[list[str]] = None,
+        racks: Optional[list[str]] = None,
+        relax_locality: bool = True,
+        count: int = 1,
+    ) -> None:
+        nodes = nodes or []
+        racks = racks or []
+        if nodes and not racks and relax_locality:
+            racks = sorted(
+                {self.rm.cluster.nodes[n].rack for n in nodes
+                 if n in self.rm.cluster.nodes}
+            )
+        self.app.remove_ask(priority, nodes, racks, relax_locality, count)
+
+    def _deliver_allocation(self, container: Container) -> None:
+        # Model the multi-heartbeat RM negotiation latency.
+        delay = self.rm.spec.container_allocate_overhead
+
+        def deliver() -> Generator:
+            yield self.env.timeout(delay)
+            if not self.unregistered:
+                self.allocated.put(container)
+            else:
+                self.release_container(container.container_id)
+
+        self.env.process(deliver(), name=f"deliver:{container.container_id}")
+
+    # -- container control ---------------------------------------------------
+    def launch_container(self, container: Container,
+                         runner: ContainerRunner,
+                         launch_overhead: Optional[float] = None) -> None:
+        self._check_registered()
+        nm = self.rm.node_managers[container.node_id]
+        nm.launch(container, runner, nm_token=self.nm_token,
+                  launch_overhead=launch_overhead)
+
+    def release_container(self, container_id: ContainerId) -> None:
+        for nm in self.rm.node_managers.values():
+            if container_id in nm.containers:
+                nm.stop_container(container_id, ContainerExitStatus.ABORTED)
+                return
+        self.rm.scheduler.container_completed(self.app_id, container_id)
+
+    # -- cluster awareness -----------------------------------------------------
+    def on_node_loss(self, callback: Callable[[Node], None]) -> None:
+        self._node_loss_callbacks.append(callback)
+
+    def headroom(self) -> Resource:
+        """Free capacity currently available on live nodes."""
+        free = Resource(0, 0)
+        for nm in self.rm.node_managers.values():
+            if nm.node.alive:
+                free = free + nm.available
+        return free
+
+
+class ResourceManager:
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        queues: Optional[list[QueueConfig]] = None,
+        secure: bool = True,
+        preemption_enabled: bool = False,
+        node_locality_delay: Optional[int] = None,
+        rack_locality_delay: Optional[int] = None,
+    ):
+        self.env = env
+        self.cluster = cluster
+        self.spec = cluster.spec
+        self.security = SecurityManager(enabled=secure)
+        self.node_managers: dict[str, NodeManager] = {
+            node_id: NodeManager(env, node, self.security,
+                                 self._container_completed)
+            for node_id, node in cluster.nodes.items()
+        }
+        self.scheduler = CapacityScheduler(
+            env, cluster, self.node_managers, queues,
+            node_locality_delay=node_locality_delay,
+            rack_locality_delay=rack_locality_delay,
+            preemption_enabled=preemption_enabled,
+        )
+        self._handles: dict[ApplicationId, AppHandle] = {}
+        self._contexts: dict[ApplicationId, AMContext] = {}
+        self._am_factories: dict[ApplicationId, Callable] = {}
+        self._attempts: dict[ApplicationId, int] = {}
+        self._max_attempts: dict[ApplicationId, int] = {}
+        self._am_resources: dict[ApplicationId, Resource] = {}
+        self._am_container_ids: dict[ApplicationId, ContainerId] = {}
+        for node in cluster.nodes.values():
+            node.on_crash(self._node_lost)
+        self._running = True
+        env.process(self._tick_loop(), name="rm-scheduler-tick")
+
+    # -- scheduler pump ---------------------------------------------------
+    def _tick_loop(self) -> Generator:
+        while self._running:
+            self.scheduler.tick()
+            yield self.env.timeout(self.spec.heartbeat_interval)
+
+    def stop(self) -> None:
+        self._running = False
+
+    # -- application lifecycle ------------------------------------------------
+    def submit_application(
+        self,
+        name: str,
+        am_factory: Callable[[AMContext], Generator],
+        queue: str = "default",
+        user: str = "user",
+        am_resource: Resource = Resource(2048, 1),
+        max_attempts: int = 2,
+    ) -> AppHandle:
+        """Submit an application; returns immediately with a handle."""
+        app_id = ApplicationId.new()
+        handle = AppHandle(self.env, app_id, name)
+        self._handles[app_id] = handle
+        self._am_factories[app_id] = am_factory
+        self._attempts[app_id] = 0
+        self._max_attempts[app_id] = max_attempts
+        self._am_resources[app_id] = am_resource
+        app = SchedulerApp(app_id, queue, user)
+        self.scheduler.add_app(app)
+        self.env.process(self._start_attempt(app, handle),
+                         name=f"submit:{app_id}")
+        return handle
+
+    def _start_attempt(self, app: SchedulerApp, handle: AppHandle) -> Generator:
+        app_id = app.app_id
+        self._attempts[app_id] += 1
+        attempt = self._attempts[app_id]
+        # Ask for the AM container and wait for it.
+        am_allocated = self.env.event()
+        app.on_allocate = lambda c: (
+            am_allocated.succeed(c) if not am_allocated.triggered else None
+        )
+        app.add_ask(AM_PRIORITY, self._am_resources[app_id], [], [], True, 1)
+        yield self.env.timeout(self.spec.am_launch_overhead / 2)
+        container = yield am_allocated
+        self._am_container_ids[app_id] = container.container_id
+        ctx = AMContext(self, app, handle, container, attempt)
+        self._contexts[app_id] = ctx
+        factory = self._am_factories[app_id]
+
+        def am_runner(c: Container) -> Generator:
+            yield from factory(ctx)
+
+        nm = self.node_managers[container.node_id]
+        # The RM launches the AM itself; NM token issued internally.
+        token = self.security.issue("NM", str(app_id))
+        nm.launch(container, am_runner, nm_token=token,
+                  launch_overhead=self.spec.am_launch_overhead / 2)
+
+    def _app_unregistered(self, ctx: AMContext,
+                          final_status: FinalApplicationStatus,
+                          diagnostics: str, result) -> None:
+        handle = self._handles[ctx.app_id]
+        handle.final_status = final_status
+        handle.diagnostics = diagnostics
+        handle.result = result
+        handle.finish_time = self.env.now
+        # Reap remaining task containers. The AM's own container is left
+        # alone: its generator is the caller and will return naturally.
+        app = ctx.app
+        am_cid = self._am_container_ids.get(ctx.app_id)
+        for cid in list(app.live_containers):
+            if cid == am_cid:
+                continue
+            for nm in self.node_managers.values():
+                if cid in nm.containers:
+                    nm.stop_container(cid, ContainerExitStatus.ABORTED)
+        self.scheduler.remove_app(ctx.app_id)
+        self._contexts.pop(ctx.app_id, None)
+        if not handle.completion.triggered:
+            handle.completion.succeed(final_status)
+
+    # -- callbacks ----------------------------------------------------------------
+    def _container_completed(self, status: ContainerStatus,
+                             container: Container) -> None:
+        app_id = status.container_id.app_id
+        self.scheduler.container_completed(app_id, status.container_id)
+        ctx = self._contexts.get(app_id)
+        if ctx is None:
+            return
+        if status.container_id == self._am_container_ids.get(app_id):
+            self._am_exited(ctx, status)
+        elif not ctx.unregistered:
+            ctx.completed.put(status)
+
+    def _am_exited(self, ctx: AMContext, status: ContainerStatus) -> None:
+        app_id = ctx.app_id
+        handle = self._handles[app_id]
+        if ctx.unregistered or handle.completion.triggered:
+            return
+        # AM died without unregistering: retry or fail the application.
+        ctx.unregistered = True  # stale context: stop event delivery
+        self._contexts.pop(app_id, None)
+        app = ctx.app
+        for cid in list(app.live_containers):
+            for nm in self.node_managers.values():
+                if cid in nm.containers:
+                    nm.stop_container(cid, ContainerExitStatus.ABORTED)
+        if self._attempts[app_id] < self._max_attempts[app_id]:
+            new_app = SchedulerApp(app_id, app.queue, app.user)
+            new_app._container_seq = app._container_seq  # keep ids unique
+            self.scheduler.remove_app(app_id)
+            self.scheduler.add_app(new_app)
+            self.env.process(self._start_attempt(new_app, handle),
+                             name=f"restart:{app_id}")
+        else:
+            handle.final_status = FinalApplicationStatus.FAILED
+            handle.diagnostics = (
+                f"AM failed {self._attempts[app_id]} times: "
+                f"{status.diagnostics}"
+            )
+            handle.finish_time = self.env.now
+            self.scheduler.remove_app(app_id)
+            handle.completion.succeed(handle.final_status)
+
+    def _node_lost(self, node: Node) -> None:
+        for ctx in list(self._contexts.values()):
+            for callback in ctx._node_loss_callbacks:
+                callback(node)
+
+    # -- metrics -------------------------------------------------------------------
+    def cluster_utilization(self) -> float:
+        total = self.scheduler.cluster_resource()
+        used = Resource(0, 0)
+        for nm in self.node_managers.values():
+            if nm.node.alive:
+                used = used + nm.used
+        return used.dominant_share(total)

@@ -1,0 +1,391 @@
+"""Capacity scheduler: queues, locality matching, delay scheduling,
+preemption.
+
+The scheduler runs on a heartbeat tick. Each tick it visits live nodes
+(rotating the starting node for fairness) and offers each node's spare
+capacity to applications, ordered by how far their queue is below its
+guaranteed capacity (FIFO within a queue). Locality is matched YARN
+style against node-level, rack-level and ANY asks, with delay
+scheduling [Zaharia et al., EuroSys'10]: an application holding
+node-local asks declines non-local offers until it has skipped a
+configurable number of scheduling opportunities.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..cluster import Cluster
+from ..sim import Environment
+from .container import Container
+from .node_manager import NodeManager
+from .records import (
+    ANY,
+    ApplicationId,
+    ContainerExitStatus,
+    ContainerId,
+    Priority,
+    Resource,
+)
+
+__all__ = ["CapacityScheduler", "QueueConfig", "SchedulerApp", "NODE_LOCAL",
+           "RACK_LOCAL_LEVEL", "OFF_SWITCH"]
+
+NODE_LOCAL = "NODE_LOCAL"
+RACK_LOCAL_LEVEL = "RACK_LOCAL"
+OFF_SWITCH = "OFF_SWITCH"
+
+
+@dataclass
+class QueueConfig:
+    name: str
+    capacity: float          # guaranteed fraction of the cluster
+    max_capacity: float = 1.0
+
+    def __post_init__(self):
+        if not 0 < self.capacity <= 1.0:
+            raise ValueError("queue capacity must be in (0, 1]")
+        if not self.capacity <= self.max_capacity <= 1.0:
+            raise ValueError("max_capacity must be in [capacity, 1]")
+
+
+@dataclass
+class _AskTable:
+    """Per-priority ask book: counts at node, rack and ANY levels.
+
+    ``total`` is the authoritative number of outstanding containers at
+    this priority; per-level counts only steer placement. (A request
+    listing three candidate nodes is still a request for *one*
+    container.)
+    """
+
+    capability: Resource
+    node_counts: dict[str, int] = field(default_factory=dict)
+    rack_counts: dict[str, int] = field(default_factory=dict)
+    any_count: int = 0
+    total: int = 0
+
+    def pending(self) -> int:
+        return max(0, self.total)
+
+    def has_node_asks(self) -> bool:
+        return any(v > 0 for v in self.node_counts.values())
+
+    def has_rack_asks(self) -> bool:
+        return any(v > 0 for v in self.rack_counts.values())
+
+
+class SchedulerApp:
+    """Scheduler-side view of one application attempt."""
+
+    def __init__(self, app_id: ApplicationId, queue: str, user: str):
+        self.app_id = app_id
+        self.queue = queue
+        self.user = user
+        self.asks: dict[Priority, _AskTable] = {}
+        self.live_containers: dict[ContainerId, Container] = {}
+        self.missed_opportunities = 0
+        self._container_seq = itertools.count(1)
+        self.on_allocate: Optional[Callable[[Container], None]] = None
+
+    # -- ask bookkeeping ---------------------------------------------------
+    def add_ask(
+        self,
+        priority: Priority,
+        capability: Resource,
+        nodes: list[str],
+        racks: list[str],
+        relax_locality: bool,
+        count: int = 1,
+    ) -> None:
+        table = self.asks.get(priority)
+        if table is None:
+            table = _AskTable(capability)
+            self.asks[priority] = table
+        elif table.capability != capability:
+            raise ValueError(
+                f"capability mismatch at priority {priority}: "
+                f"{table.capability} vs {capability}"
+            )
+        for node in nodes:
+            table.node_counts[node] = table.node_counts.get(node, 0) + count
+        for rack in racks:
+            table.rack_counts[rack] = table.rack_counts.get(rack, 0) + count
+        if relax_locality or (not nodes and not racks):
+            table.any_count += count
+        table.total += count
+
+    def remove_ask(
+        self,
+        priority: Priority,
+        nodes: list[str],
+        racks: list[str],
+        relax_locality: bool,
+        count: int = 1,
+    ) -> None:
+        table = self.asks.get(priority)
+        if table is None:
+            return
+        for node in nodes:
+            table.node_counts[node] = max(
+                0, table.node_counts.get(node, 0) - count
+            )
+        for rack in racks:
+            table.rack_counts[rack] = max(
+                0, table.rack_counts.get(rack, 0) - count
+            )
+        if relax_locality or (not nodes and not racks):
+            table.any_count = max(0, table.any_count - count)
+        table.total = max(0, table.total - count)
+
+    def total_pending(self) -> int:
+        return sum(t.pending() for t in self.asks.values())
+
+    def used_resource(self) -> Resource:
+        total = Resource(0, 0)
+        for c in self.live_containers.values():
+            total = total + c.resource
+        return total
+
+    def next_container_id(self) -> ContainerId:
+        return ContainerId(self.app_id, next(self._container_seq))
+
+
+class CapacityScheduler:
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        node_managers: dict[str, NodeManager],
+        queues: Optional[list[QueueConfig]] = None,
+        node_locality_delay: Optional[int] = None,
+        rack_locality_delay: Optional[int] = None,
+        preemption_enabled: bool = False,
+    ):
+        self.env = env
+        self.cluster = cluster
+        self.node_managers = node_managers
+        queues = queues or [QueueConfig("default", 1.0)]
+        total_cap = sum(q.capacity for q in queues)
+        if total_cap > 1.0 + 1e-9:
+            raise ValueError("queue capacities exceed 1.0")
+        self.queues = {q.name: q for q in queues}
+        self.apps: dict[ApplicationId, SchedulerApp] = {}
+        n = max(1, len(cluster.nodes))
+        self.node_locality_delay = (
+            node_locality_delay if node_locality_delay is not None else n
+        )
+        self.rack_locality_delay = (
+            rack_locality_delay if rack_locality_delay is not None else 2 * n
+        )
+        self.preemption_enabled = preemption_enabled
+        self._tick_offset = 0
+        self.allocation_log: list[tuple[float, str, str, str]] = []
+
+    # -- registration -------------------------------------------------------
+    def add_app(self, app: SchedulerApp) -> None:
+        if app.queue not in self.queues:
+            raise ValueError(f"unknown queue {app.queue!r}")
+        self.apps[app.app_id] = app
+
+    def remove_app(self, app_id: ApplicationId) -> None:
+        self.apps.pop(app_id, None)
+
+    # -- capacity accounting -------------------------------------------------
+    def cluster_resource(self) -> Resource:
+        total = Resource(0, 0)
+        for nm in self.node_managers.values():
+            if nm.node.alive:
+                total = total + nm.total
+        return total
+
+    def queue_used(self, queue: str) -> Resource:
+        total = Resource(0, 0)
+        for app in self.apps.values():
+            if app.queue == queue:
+                total = total + app.used_resource()
+        return total
+
+    def queue_usage_ratio(self, queue: str) -> float:
+        total = self.cluster_resource()
+        guaranteed_frac = self.queues[queue].capacity
+        used = self.queue_used(queue)
+        share = used.dominant_share(total)
+        return share / guaranteed_frac if guaranteed_frac else float("inf")
+
+    def _queue_over_max(self, queue: str, extra: Resource) -> bool:
+        total = self.cluster_resource()
+        used = self.queue_used(queue) + extra
+        return used.dominant_share(total) > self.queues[queue].max_capacity + 1e-9
+
+    # -- the scheduling tick --------------------------------------------------
+    def tick(self) -> list[Container]:
+        """One scheduling pass over all nodes; returns new allocations."""
+        allocations: list[Container] = []
+        node_ids = sorted(
+            nid for nid, nm in self.node_managers.items() if nm.node.alive
+        )
+        if not node_ids:
+            return allocations
+        self._tick_offset = (self._tick_offset + 1) % len(node_ids)
+        rotated = node_ids[self._tick_offset:] + node_ids[: self._tick_offset]
+        for node_id in rotated:
+            allocations.extend(self._assign_on_node(node_id))
+        if self.preemption_enabled:
+            self._preempt_if_needed()
+        return allocations
+
+    def _ordered_apps(self) -> list[SchedulerApp]:
+        ratio = {q: self.queue_usage_ratio(q) for q in self.queues}
+        return sorted(
+            self.apps.values(),
+            key=lambda a: (ratio[a.queue], a.app_id),
+        )
+
+    def _assign_on_node(self, node_id: str) -> list[Container]:
+        nm = self.node_managers[node_id]
+        rack = self.cluster.nodes[node_id].rack
+        allocations: list[Container] = []
+        progress = True
+        while progress:
+            progress = False
+            for app in self._ordered_apps():
+                container = self._try_assign(app, nm, node_id, rack)
+                if container is not None:
+                    allocations.append(container)
+                    progress = True
+                    break
+        return allocations
+
+    def _try_assign(
+        self, app: SchedulerApp, nm: NodeManager, node_id: str, rack: str
+    ) -> Optional[Container]:
+        had_local_ask = False
+        for priority in sorted(app.asks):
+            table = app.asks[priority]
+            if table.pending() <= 0:
+                continue
+            if not nm.can_fit(table.capability):
+                continue
+            if self._queue_over_max(app.queue, table.capability):
+                continue
+            # NODE_LOCAL
+            if table.node_counts.get(node_id, 0) > 0:
+                return self._allocate(app, nm, priority, table, NODE_LOCAL,
+                                      node_id, rack)
+            if table.has_node_asks():
+                had_local_ask = True
+            # RACK_LOCAL (allowed after node delay, or if no node asks)
+            if table.rack_counts.get(rack, 0) > 0 and (
+                not table.has_node_asks()
+                or app.missed_opportunities >= self.node_locality_delay
+            ):
+                return self._allocate(app, nm, priority, table,
+                                      RACK_LOCAL_LEVEL, node_id, rack)
+            # OFF_SWITCH (allowed after rack delay, or if ANY-only asks)
+            if table.any_count > 0 and (
+                (not table.has_node_asks() and not table.has_rack_asks())
+                or app.missed_opportunities >= self.rack_locality_delay
+            ):
+                return self._allocate(app, nm, priority, table, OFF_SWITCH,
+                                      node_id, rack)
+        if had_local_ask:
+            app.missed_opportunities += 1
+        return None
+
+    def _allocate(
+        self,
+        app: SchedulerApp,
+        nm: NodeManager,
+        priority: Priority,
+        table: _AskTable,
+        level: str,
+        node_id: str,
+        rack: str,
+    ) -> Container:
+        # Decrement the ask book per YARN semantics.
+        table.total = max(0, table.total - 1)
+        if level == NODE_LOCAL:
+            table.node_counts[node_id] = max(
+                0, table.node_counts.get(node_id, 0) - 1
+            )
+            table.rack_counts[rack] = max(0, table.rack_counts.get(rack, 0) - 1)
+            table.any_count = max(0, table.any_count - 1)
+            app.missed_opportunities = 0
+        elif level == RACK_LOCAL_LEVEL:
+            table.rack_counts[rack] = max(0, table.rack_counts.get(rack, 0) - 1)
+            table.any_count = max(0, table.any_count - 1)
+        else:
+            table.any_count = max(0, table.any_count - 1)
+        container = Container(
+            app.next_container_id(),
+            nm.node,
+            table.capability,
+            self.cluster.spec,
+            queue=app.queue,
+        )
+        container.allocated_at = self.env.now
+        container.priority = priority  # which ask this allocation fills
+        nm.reserve(container)
+        app.live_containers[container.container_id] = container
+        self.allocation_log.append(
+            (self.env.now, str(app.app_id), node_id, level)
+        )
+        if app.on_allocate is not None:
+            app.on_allocate(container)
+        return container
+
+    def container_completed(self, app_id: ApplicationId,
+                            container_id: ContainerId) -> None:
+        app = self.apps.get(app_id)
+        if app is not None:
+            app.live_containers.pop(container_id, None)
+
+    # -- preemption ------------------------------------------------------------
+    def _preempt_if_needed(self) -> None:
+        """Reclaim capacity for starved queues from over-capacity queues."""
+        total = self.cluster_resource()
+        starved = [
+            q for q in self.queues.values()
+            if self._queue_pending(q.name) > 0
+            and self.queue_used(q.name).dominant_share(total)
+            < q.capacity - 1e-9
+        ]
+        if not starved:
+            return
+        over = sorted(
+            (q for q in self.queues.values()
+             if self.queue_used(q.name).dominant_share(total)
+             > q.capacity + 1e-9),
+            key=lambda q: self.queue_used(q.name).dominant_share(total)
+            - q.capacity,
+            reverse=True,
+        )
+        for victim_queue in over:
+            # Kill the newest non-AM container of the most over-capacity
+            # queue, one per tick, so reclamation is gradual.
+            candidates = [
+                (c.allocated_at, app.app_id, c)
+                for app in self.apps.values()
+                if app.queue == victim_queue.name
+                for c in app.live_containers.values()
+                if c.container_id.container_num != 1  # spare the AM
+            ]
+            if not candidates:
+                continue
+            candidates.sort(key=lambda t: (t[0], str(t[2].container_id)))
+            _, app_id, victim = candidates[-1]
+            nm = self.node_managers[victim.node_id]
+            nm.stop_container(
+                victim.container_id, ContainerExitStatus.PREEMPTED
+            )
+            return
+
+    def _queue_pending(self, queue: str) -> int:
+        return sum(
+            app.total_pending()
+            for app in self.apps.values()
+            if app.queue == queue
+        )

@@ -1,0 +1,29 @@
+"""Shared test configuration.
+
+A per-test wall-clock alarm turns would-be infinite simulation loops
+(a bug in an AM or scheduler keeps the event queue alive forever) into
+test failures with a traceback instead of a hung test session.
+"""
+
+import signal
+
+import pytest
+
+TEST_TIMEOUT_SECONDS = 60
+
+
+@pytest.fixture(autouse=True)
+def _test_deadline():
+    def handler(signum, frame):
+        raise TimeoutError(
+            f"test exceeded {TEST_TIMEOUT_SECONDS}s wall clock "
+            "(likely a simulation that never converges)"
+        )
+
+    old = signal.signal(signal.SIGALRM, handler)
+    signal.alarm(TEST_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, old)

@@ -1,0 +1,135 @@
+"""Unit tests for the cluster topology and cost model."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, LOCAL, RACK_LOCAL, REMOTE
+from repro.sim import Environment
+
+
+def make_cluster(**overrides):
+    spec = ClusterSpec(num_nodes=8, nodes_per_rack=4, **overrides)
+    return Cluster(Environment(), spec)
+
+
+class TestSpec:
+    def test_rack_count(self):
+        assert ClusterSpec(num_nodes=8, nodes_per_rack=4).num_racks == 2
+        assert ClusterSpec(num_nodes=9, nodes_per_rack=4).num_racks == 3
+        assert ClusterSpec(num_nodes=1, nodes_per_rack=4).num_racks == 1
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(num_nodes=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(hdfs_replication=0)
+
+    def test_transfer_time_ordering(self):
+        spec = ClusterSpec()
+        nbytes = 100 * 1024 * 1024
+        local = spec.transfer_time(nbytes, "local")
+        rack = spec.transfer_time(nbytes, "rack")
+        remote = spec.transfer_time(nbytes, "remote")
+        assert local <= rack <= remote
+        assert local > 0
+
+    def test_transfer_time_zero_bytes(self):
+        assert ClusterSpec().transfer_time(0, "remote") == 0.0
+
+    def test_transfer_time_bad_locality(self):
+        with pytest.raises(ValueError):
+            ClusterSpec().transfer_time(10, "galactic")
+
+    def test_scaled_copy(self):
+        spec = ClusterSpec(num_nodes=4)
+        bigger = spec.scaled(num_nodes=100)
+        assert bigger.num_nodes == 100
+        assert spec.num_nodes == 4
+        assert bigger.cores_per_node == spec.cores_per_node
+
+    def test_compute_time(self):
+        spec = ClusterSpec()
+        assert spec.compute_time(1_000_000) == pytest.approx(
+            1_000_000 * spec.cpu_cost_per_record
+        )
+        assert spec.sort_time(100) > spec.compute_time(100)
+
+
+class TestTopology:
+    def test_rack_assignment(self):
+        cluster = make_cluster()
+        racks = cluster.racks()
+        assert racks == ["rack0", "rack1"]
+        assert len(cluster.nodes_in_rack("rack0")) == 4
+
+    def test_locality_classes(self):
+        cluster = make_cluster()
+        nodes = sorted(cluster.nodes)
+        assert cluster.locality(nodes[0], nodes[0]) == LOCAL
+        assert cluster.locality(nodes[0], nodes[1]) == RACK_LOCAL
+        assert cluster.locality(nodes[0], nodes[7]) == REMOTE
+
+    def test_crash_and_restart(self):
+        cluster = make_cluster()
+        nid = sorted(cluster.nodes)[0]
+        assert len(cluster.live_nodes()) == 8
+        cluster.crash_node(nid)
+        assert len(cluster.live_nodes()) == 7
+        assert not cluster.nodes[nid].alive
+        cluster.restart_node(nid)
+        assert cluster.nodes[nid].alive
+
+    def test_crash_listener_fires_once(self):
+        cluster = make_cluster()
+        nid = sorted(cluster.nodes)[0]
+        calls = []
+        cluster.nodes[nid].on_crash(lambda n: calls.append(n.node_id))
+        cluster.crash_node(nid)
+        cluster.crash_node(nid)  # idempotent
+        assert calls == [nid]
+
+    def test_replica_placement_spreads_racks(self):
+        cluster = make_cluster()
+        nid = sorted(cluster.nodes)[0]
+        replicas = cluster.place_replicas(3, preferred=nid)
+        assert replicas[0].node_id == nid
+        assert len({r.node_id for r in replicas}) == 3
+        assert len({r.rack for r in replicas}) >= 2
+
+    def test_replica_placement_avoids_dead_preferred(self):
+        cluster = make_cluster()
+        nid = sorted(cluster.nodes)[0]
+        cluster.crash_node(nid)
+        replicas = cluster.place_replicas(3, preferred=nid)
+        assert all(r.node_id != nid for r in replicas)
+
+    def test_placement_deterministic_given_seed(self):
+        a = make_cluster(seed=5)
+        b = make_cluster(seed=5)
+        pa = [n.node_id for n in a.place_replicas(3, "node0001")]
+        pb = [n.node_id for n in b.place_replicas(3, "node0001")]
+        assert pa == pb
+
+    def test_slow_node_validation(self):
+        cluster = make_cluster()
+        nid = sorted(cluster.nodes)[0]
+        cluster.slow_node(nid, 0.25)
+        assert cluster.nodes[nid].speed == 0.25
+        with pytest.raises(ValueError):
+            cluster.slow_node(nid, 0.0)
+        with pytest.raises(ValueError):
+            cluster.slow_node(nid, 2.0)
+
+
+class TestMemoryTierCostModel:
+    def test_local_memory_beats_local_disk(self):
+        spec = ClusterSpec()
+        n = 100 * 1024 * 1024
+        assert spec.transfer_time(n, "local", storage="memory") < \
+            spec.transfer_time(n, "local", storage="disk")
+
+    def test_remote_memory_capped_by_network(self):
+        spec = ClusterSpec()
+        n = 100 * 1024 * 1024
+        # Over the network, memory speed cannot beat the wire.
+        assert spec.transfer_time(n, "remote", storage="memory") == \
+            pytest.approx(n / spec.net_bw_cross_rack)

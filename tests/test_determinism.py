@@ -1,0 +1,85 @@
+"""Determinism: identical runs produce identical simulated outcomes.
+
+The DES kernel is seeded and event ordering is FIFO-stable, so any
+end-to-end run — including failures, retries and shuffle error
+injection — must reproduce exactly. This is what makes the benchmark
+numbers in EXPERIMENTS.md stable artifacts rather than samples.
+"""
+
+from repro.engines.hive import Catalog, HiveSession
+from repro.workloads import TPCH_QUERIES, generate_tpch, register_tpch
+
+from helpers import (
+    SG,
+    edge,
+    fn_vertex,
+    hdfs_sink,
+    hdfs_source,
+    make_sim,
+    run_dag,
+)
+from repro.tez import DAG
+
+
+def run_wordcount(shuffle_error_rate=0.0):
+    sim = make_sim(shuffle_transient_error_rate=shuffle_error_rate)
+    sim.hdfs.write("/in", [(i % 13, i) for i in range(500)],
+                   record_bytes=24)
+    m = fn_vertex("m", lambda c, d: {"r": list(d["src"])}, -1)
+    hdfs_source(m, "src", ["/in"])
+    r = fn_vertex("r", lambda c, d: {"out": [
+        (k, sum(vs)) for k, vs in d["m"]
+    ]}, 3)
+    hdfs_sink(r, "out", "/out")
+    dag = DAG("det").add_vertex(m).add_vertex(r)
+    dag.add_edge(edge(m, r, SG))
+    status, _ = run_dag(sim, dag)
+    assert status.succeeded
+    return status.elapsed, tuple(sorted(sim.hdfs.read_file("/out")))
+
+
+def test_identical_runs_identical_times_and_results():
+    a = run_wordcount()
+    b = run_wordcount()
+    assert a == b
+
+
+def test_determinism_survives_error_injection():
+    a = run_wordcount(shuffle_error_rate=0.3)
+    b = run_wordcount(shuffle_error_rate=0.3)
+    assert a == b
+
+
+def test_seed_changes_timing_not_results():
+    def run(seed):
+        sim = make_sim(seed=seed)
+        sim.hdfs.write("/in", [(i % 13, i) for i in range(500)],
+                       record_bytes=24)
+        m = fn_vertex("m", lambda c, d: {"r": list(d["src"])}, -1)
+        hdfs_source(m, "src", ["/in"])
+        r = fn_vertex("r", lambda c, d: {"out": [
+            (k, sum(vs)) for k, vs in d["m"]
+        ]}, 3)
+        hdfs_sink(r, "out", "/out")
+        dag = DAG("det").add_vertex(m).add_vertex(r)
+        dag.add_edge(edge(m, r, SG))
+        status, _ = run_dag(sim, dag)
+        assert status.succeeded
+        return status.elapsed, tuple(sorted(sim.hdfs.read_file("/out")))
+
+    t1, rows1 = run(seed=1)
+    t2, rows2 = run(seed=99)
+    assert rows1 == rows2        # correctness is seed-independent
+
+
+def test_hive_query_deterministic_end_to_end():
+    def run():
+        sim = make_sim()
+        catalog = Catalog()
+        register_tpch(catalog, sim.hdfs, generate_tpch(1))
+        session = HiveSession(sim, catalog)
+        result = session.run(TPCH_QUERIES["q5_volume"], backend="tez")
+        session.close()
+        return result.elapsed, tuple(result.rows)
+
+    assert run() == run()

@@ -1,0 +1,50 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are part of the public deliverable; a refactor that breaks
+one should fail the suite, not a reader's first session. Each example
+is importable and exposes ``main()``; we run the cheaper ones directly
+and the heavier ones with reduced knobs.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart_runs():
+    load("quickstart").main()
+
+
+def test_iterative_kmeans_runs_reduced():
+    module = load("iterative_kmeans")
+    module.ITERATIONS = 2          # keep the smoke test quick
+    module.main()
+
+
+def test_spark_multitenancy_runs():
+    load("spark_multitenancy").main()
+
+
+def test_chaos_fault_tolerance_runs():
+    load("chaos_fault_tolerance").main()
+
+
+def test_hive_analytics_runs():
+    load("hive_analytics").main()
+
+
+def test_pig_etl_pipeline_runs():
+    load("pig_etl_pipeline").main()

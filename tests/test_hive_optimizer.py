@@ -1,0 +1,234 @@
+"""Unit tests for the Hive optimizer's individual rules."""
+
+import pytest
+
+from repro.engines.hive import (
+    Aggregate,
+    Catalog,
+    Filter,
+    Join,
+    Limit,
+    Optimizer,
+    OptimizerConfig,
+    Project,
+    Scan,
+    Sort,
+    build_plan,
+    parse,
+)
+from repro.engines.hive.catalog import TableMeta
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.register(TableMeta(
+        name="fact",
+        columns=["f_id", "f_key", "f_date", "f_val"],
+        partition_column="f_date",
+        partitions={d: f"/w/fact/d={d}" for d in
+                    ("2001", "2002", "2003", "2004")},
+        row_count=1_000_000, row_bytes=200,
+    ))
+    cat.register(TableMeta(
+        name="dim", columns=["d_key", "d_name", "d_flag"],
+        path="/w/dim", row_count=500, row_bytes=60,
+    ))
+    cat.register(TableMeta(
+        name="big2", columns=["b_key", "b_val"],
+        path="/w/big2", row_count=900_000, row_bytes=300,
+    ))
+    return cat
+
+
+def optimize(catalog, sql, **cfg):
+    plan = build_plan(catalog, parse(sql))
+    return Optimizer(OptimizerConfig(**cfg)).optimize(plan)
+
+
+def scans(plan):
+    return {n.alias: n for n in plan.walk() if isinstance(n, Scan)}
+
+
+def joins(plan):
+    return [n for n in plan.walk() if isinstance(n, Join)]
+
+
+class TestPredicatePushdown:
+    def test_filter_sinks_below_join(self, catalog):
+        plan = optimize(
+            catalog,
+            "SELECT f_id FROM fact JOIN dim ON f_key = d_key "
+            "WHERE f_val > 10 AND d_flag = 1",
+        )
+        # Each side's predicate sits directly above its scan.
+        for node in plan.walk():
+            if isinstance(node, Filter):
+                assert isinstance(node.child, Scan), node
+
+    def test_pushdown_disabled(self, catalog):
+        plan = optimize(
+            catalog,
+            "SELECT f_id FROM fact JOIN dim ON f_key = d_key "
+            "WHERE f_val > 10",
+            enable_predicate_pushdown=False,
+        )
+        filters = [n for n in plan.walk() if isinstance(n, Filter)]
+        assert any(isinstance(f.child, Join) for f in filters)
+
+    def test_left_join_keeps_right_filter_above(self, catalog):
+        plan = optimize(
+            catalog,
+            "SELECT f_id FROM fact LEFT JOIN dim ON f_key = d_key "
+            "WHERE d_flag = 1",
+        )
+        # Filtering the nullable side below a LEFT join would change
+        # semantics; it must stay above.
+        filters = [n for n in plan.walk() if isinstance(n, Filter)]
+        assert any(isinstance(f.child, Join) for f in filters)
+
+
+class TestPartitionPruning:
+    def test_equality_prunes_to_one(self, catalog):
+        plan = optimize(
+            catalog, "SELECT f_val FROM fact WHERE f_date = '2002'"
+        )
+        assert scans(plan)["fact"].partition_values == ["2002"]
+
+    def test_in_list_prunes(self, catalog):
+        plan = optimize(
+            catalog,
+            "SELECT f_val FROM fact WHERE f_date IN ('2001', '2004')",
+        )
+        assert scans(plan)["fact"].partition_values == ["2001", "2004"]
+
+    def test_unknown_value_prunes_everything(self, catalog):
+        plan = optimize(
+            catalog, "SELECT f_val FROM fact WHERE f_date = '1999'"
+        )
+        assert scans(plan)["fact"].partition_values == []
+
+    def test_non_partition_filter_does_not_prune(self, catalog):
+        plan = optimize(
+            catalog, "SELECT f_val FROM fact WHERE f_val = 5"
+        )
+        assert scans(plan)["fact"].partition_values is None
+
+    def test_pruning_disabled(self, catalog):
+        plan = optimize(
+            catalog, "SELECT f_val FROM fact WHERE f_date = '2002'",
+            enable_partition_pruning=False,
+        )
+        assert scans(plan)["fact"].partition_values is None
+
+
+class TestColumnPruning:
+    def test_scan_reads_only_needed(self, catalog):
+        plan = optimize(catalog, "SELECT f_id FROM fact WHERE f_val > 1")
+        assert set(scans(plan)["fact"].needed_columns) == \
+            {"f_id", "f_val"}
+
+    def test_join_keys_kept(self, catalog):
+        plan = optimize(
+            catalog,
+            "SELECT d_name FROM fact JOIN dim ON f_key = d_key",
+        )
+        assert "f_key" in scans(plan)["fact"].needed_columns
+        assert set(scans(plan)["dim"].needed_columns) == \
+            {"d_key", "d_name"}
+
+
+class TestJoinStrategy:
+    def test_small_dim_broadcast(self, catalog):
+        plan = optimize(
+            catalog, "SELECT d_name FROM fact JOIN dim ON f_key = d_key"
+        )
+        assert joins(plan)[0].strategy == Join.BROADCAST
+
+    def test_two_big_tables_shuffle(self, catalog):
+        plan = optimize(
+            catalog,
+            "SELECT f_id FROM fact JOIN big2 ON f_key = b_key",
+        )
+        assert joins(plan)[0].strategy == Join.SHUFFLE
+
+    def test_small_left_side_swapped_to_build(self, catalog):
+        plan = optimize(
+            catalog, "SELECT f_id FROM dim JOIN fact ON d_key = f_key"
+        )
+        j = joins(plan)[0]
+        assert j.strategy == Join.BROADCAST
+        # The small side ends up on the right (build) side.
+        right_scans = {
+            n.table.name for n in j.right.walk() if isinstance(n, Scan)
+        }
+        assert right_scans == {"dim"}
+
+    def test_threshold_respected(self, catalog):
+        plan = optimize(
+            catalog, "SELECT d_name FROM fact JOIN dim ON f_key = d_key",
+            broadcast_threshold_bytes=1,
+        )
+        assert joins(plan)[0].strategy == Join.SHUFFLE
+
+
+class TestDynamicPruning:
+    def test_marked_when_dim_filtered(self, catalog):
+        plan = optimize(
+            catalog,
+            "SELECT f_val FROM fact JOIN dim ON f_date = d_key "
+            "WHERE d_flag = 1",
+        )
+        assert scans(plan)["fact"].dpp is not None
+
+    def test_not_marked_without_dim_filter(self, catalog):
+        plan = optimize(
+            catalog,
+            "SELECT f_val FROM fact JOIN dim ON f_date = d_key",
+        )
+        assert scans(plan)["fact"].dpp is None
+
+    def test_not_marked_on_non_partition_key(self, catalog):
+        plan = optimize(
+            catalog,
+            "SELECT f_val FROM fact JOIN dim ON f_key = d_key "
+            "WHERE d_flag = 1",
+        )
+        assert scans(plan)["fact"].dpp is None
+
+    def test_disabled(self, catalog):
+        plan = optimize(
+            catalog,
+            "SELECT f_val FROM fact JOIN dim ON f_date = d_key "
+            "WHERE d_flag = 1",
+            enable_dynamic_partition_pruning=False,
+        )
+        assert scans(plan)["fact"].dpp is None
+
+
+class TestStatistics:
+    def test_scan_rows_scale_with_pruning(self, catalog):
+        full = optimize(catalog, "SELECT f_val FROM fact")
+        pruned = optimize(
+            catalog, "SELECT f_val FROM fact WHERE f_date = '2002'"
+        )
+        assert scans(pruned)["fact"].estimated_rows < \
+            scans(full)["fact"].estimated_rows
+
+    def test_filter_reduces_estimate(self, catalog):
+        plan = optimize(catalog, "SELECT f_val FROM fact WHERE f_val = 1")
+        filt = [n for n in plan.walk() if isinstance(n, Filter)][0]
+        assert filt.estimated_rows < filt.child.estimated_rows
+
+    def test_limit_caps_estimate(self, catalog):
+        plan = optimize(catalog, "SELECT f_val FROM fact LIMIT 7")
+        limits = [n for n in plan.walk() if isinstance(n, Limit)]
+        assert limits[0].estimated_rows <= 7
+
+    def test_aggregate_reduces_estimate(self, catalog):
+        plan = optimize(
+            catalog,
+            "SELECT f_key, COUNT(*) FROM fact GROUP BY f_key",
+        )
+        agg = [n for n in plan.walk() if isinstance(n, Aggregate)][0]
+        assert agg.estimated_rows < agg.child.estimated_rows

@@ -1,0 +1,164 @@
+"""Unit tests for the HiveQL parser."""
+
+import pytest
+
+from repro.engines.hive.ast_nodes import (
+    Between,
+    BinaryOp,
+    Column,
+    FuncCall,
+    InList,
+    Like,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from repro.engines.hive.parser import ParseError, parse
+
+
+def test_basic_select():
+    q = parse("SELECT a, b FROM t")
+    assert [i.output_name() for i in q.select] == ["a", "b"]
+    assert q.table.name == "t"
+    assert q.where is None
+
+
+def test_select_star():
+    q = parse("select * from t")
+    assert isinstance(q.select[0].expr, Star)
+
+
+def test_aliases():
+    q = parse("SELECT a AS x, b y FROM t z")
+    assert q.select[0].alias == "x"
+    assert q.select[1].alias == "y"
+    assert q.table.alias == "z"
+
+
+def test_qualified_columns():
+    q = parse("SELECT t.a FROM t")
+    col = q.select[0].expr
+    assert isinstance(col, Column)
+    assert (col.table, col.name) == ("t", "a")
+
+
+def test_where_precedence():
+    q = parse("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+    # AND binds tighter than OR.
+    assert isinstance(q.where, BinaryOp) and q.where.op == "or"
+    assert q.where.right.op == "and"
+
+
+def test_arithmetic_precedence():
+    q = parse("SELECT a + b * 2 FROM t")
+    expr = q.select[0].expr
+    assert expr.op == "+"
+    assert expr.right.op == "*"
+
+
+def test_parenthesized():
+    q = parse("SELECT (a + b) * 2 FROM t")
+    expr = q.select[0].expr
+    assert expr.op == "*"
+    assert expr.left.op == "+"
+
+
+def test_string_literal_with_escape():
+    q = parse("SELECT a FROM t WHERE name = 'O''Brien'")
+    assert q.where.right.value == "O'Brien"
+
+
+def test_in_between_like_not():
+    q = parse(
+        "SELECT a FROM t WHERE a IN (1, 2, 3) AND b BETWEEN 1 AND 5 "
+        "AND c LIKE 'x%' AND d NOT IN (9)"
+    )
+    conj = []
+    def flatten(e):
+        if isinstance(e, BinaryOp) and e.op == "and":
+            flatten(e.left)
+            flatten(e.right)
+        else:
+            conj.append(e)
+    flatten(q.where)
+    kinds = [type(e) for e in conj]
+    assert kinds == [InList, Between, Like, InList]
+    assert conj[3].negated
+
+
+def test_aggregates_and_group_by():
+    q = parse(
+        "SELECT k, COUNT(*), SUM(v) AS total FROM t GROUP BY k "
+        "HAVING COUNT(*) > 2"
+    )
+    assert len(q.group_by) == 1
+    count = q.select[1].expr
+    assert isinstance(count, FuncCall) and count.name == "count"
+    assert isinstance(count.args[0], Star)
+    assert q.having is not None
+
+
+def test_count_distinct():
+    q = parse("SELECT COUNT(DISTINCT v) FROM t")
+    fc = q.select[0].expr
+    assert fc.distinct
+
+
+def test_joins():
+    q = parse(
+        "SELECT a FROM t1 JOIN t2 ON t1.k = t2.k "
+        "LEFT JOIN t3 ON t2.j = t3.j"
+    )
+    assert len(q.joins) == 2
+    assert q.joins[0].how == "inner"
+    assert q.joins[1].how == "left"
+
+
+def test_order_limit():
+    q = parse("SELECT a FROM t ORDER BY a DESC, b LIMIT 10")
+    assert q.order_by[0][1] is False
+    assert q.order_by[1][1] is True
+    assert q.limit == 10
+
+
+def test_distinct_select():
+    assert parse("SELECT DISTINCT a FROM t").distinct
+
+
+def test_is_null():
+    q = parse("SELECT a FROM t WHERE b IS NULL AND c IS NOT NULL")
+    assert q.where is not None
+
+
+def test_negative_numbers_and_floats():
+    q = parse("SELECT a FROM t WHERE x > -1.5")
+    expr = q.where.right
+    assert isinstance(expr, UnaryOp)
+    assert expr.operand.value == 1.5
+
+
+def test_functions():
+    q = parse("SELECT upper(name), substr(name, 1, 3) FROM t")
+    assert q.select[0].expr.name == "upper"
+    assert len(q.select[1].expr.args) == 3
+
+
+class TestErrors:
+    @pytest.mark.parametrize("sql", [
+        "SELECT FROM t",
+        "SELECT a",
+        "SELECT a FROM t WHERE",
+        "SELECT a FROM t LIMIT x",
+        "SELECT a FROM t GROUP",
+        "SELECT a FROM t JOIN u",
+        "SELECT a FROM t trailing junk here",
+        "FROM t SELECT a",
+        "SELECT a FROM t WHERE a LIKE 5",
+    ])
+    def test_rejected(self, sql):
+        with pytest.raises(ParseError):
+            parse(sql)
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t WHERE a = #")

@@ -1,0 +1,254 @@
+"""Unit + property tests for the shuffle substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.shuffle import (
+    FetchFailure,
+    Fetcher,
+    HashPartitioner,
+    RangePartitioner,
+    ShuffleServices,
+    SpillLost,
+    group_by_key,
+    merge_sorted_runs,
+    sort_key,
+    sort_records,
+)
+from repro.sim import Environment
+from repro.yarn import SecurityManager
+
+
+def make_services():
+    spec = ClusterSpec(num_nodes=4, nodes_per_rack=2)
+    env = Environment()
+    cluster = Cluster(env, spec)
+    security = SecurityManager()
+    return env, cluster, security, ShuffleServices(cluster, security)
+
+
+keys = st.one_of(
+    st.integers(-1000, 1000),
+    st.text(max_size=8),
+    st.tuples(st.integers(0, 50), st.integers(0, 50)),
+)
+
+
+class TestPartitioners:
+    @given(st.lists(keys, max_size=100), st.integers(1, 16))
+    @settings(max_examples=50, deadline=None)
+    def test_hash_partitioner_in_range_and_deterministic(self, ks, n):
+        p = HashPartitioner()
+        for k in ks:
+            a = p.partition(k, n)
+            assert 0 <= a < n
+            assert a == p.partition(k, n)
+
+    def test_hash_partitioner_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            HashPartitioner().partition(1, 0)
+
+    def test_range_partitioner_ordering(self):
+        p = RangePartitioner([10, 20, 30])
+        assert p.partition(5, 4) == 0
+        assert p.partition(10, 4) == 0
+        assert p.partition(15, 4) == 1
+        assert p.partition(25, 4) == 2
+        assert p.partition(99, 4) == 3
+
+    def test_range_partitioner_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            RangePartitioner([3, 1])
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=200),
+           st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_range_from_sample_is_monotone(self, sample, n):
+        p = RangePartitioner.from_sample(sample, n)
+        values = sorted(sample)
+        parts = [p.partition(v, n) for v in values]
+        assert parts == sorted(parts)          # monotone in key order
+        assert all(0 <= x < n for x in parts)
+
+    def test_from_sample_empty(self):
+        p = RangePartitioner.from_sample([], 4)
+        assert p.partition(42, 4) == 0
+
+
+class TestSorter:
+    @given(st.lists(st.tuples(keys, st.integers()), max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_sort_records_sorted_and_stable(self, kvs):
+        out = sort_records(kvs)
+        assert len(out) == len(kvs)
+        ks = [sort_key(k) for k, _v in out]
+        assert ks == sorted(ks)
+
+    @given(st.lists(st.lists(st.tuples(st.integers(0, 20),
+                                       st.integers()), max_size=30),
+                    max_size=5))
+    @settings(max_examples=50, deadline=None)
+    def test_merge_equals_global_sort(self, runs):
+        sorted_runs = [sort_records(r) for r in runs]
+        merged = list(merge_sorted_runs(sorted_runs))
+        assert merged == sort_records([kv for r in runs for kv in r])
+
+    @given(st.lists(st.tuples(st.integers(0, 10), st.integers()),
+                    max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_group_by_key_partitions_values(self, kvs):
+        grouped = list(group_by_key(sort_records(kvs)))
+        # Every value accounted for, keys unique.
+        assert sum(len(vs) for _k, vs in grouped) == len(kvs)
+        ks = [sort_key(k) for k, _v in grouped]
+        assert len(set(ks)) == len(ks)
+
+    def test_heterogeneous_keys_do_not_crash(self):
+        kvs = [(None, 1), ("a", 2), (3, 3), ((1, 2), 4), (1.5, 5)]
+        out = sort_records(kvs)
+        assert len(out) == 5
+        list(group_by_key(out))
+
+
+class TestShuffleService:
+    def test_register_and_fetch(self):
+        env, cluster, security, services = make_services()
+        tok = security.issue("JOB", "app1")
+        svc = services.on_node("node0000")
+        refs = svc.register_spill(
+            "app1", "s1", {0: [("a", 1)], 1: [("b", 2)]}, token=tok
+        )
+        assert len(refs) == 2
+        assert svc.fetch("s1", 0, "app1", tok) == [("a", 1)]
+        assert svc.fetch("s1", 1, "app1", tok) == [("b", 2)]
+
+    def test_duplicate_spill_rejected(self):
+        env, cluster, security, services = make_services()
+        tok = security.issue("JOB", "app1")
+        svc = services.on_node("node0000")
+        svc.register_spill("app1", "s1", {0: []}, token=tok)
+        with pytest.raises(Exception):
+            svc.register_spill("app1", "s1", {0: []}, token=tok)
+
+    def test_missing_spill_raises(self):
+        env, cluster, security, services = make_services()
+        tok = security.issue("JOB", "app1")
+        with pytest.raises(SpillLost):
+            services.on_node("node0000").fetch("nope", 0, "app1", tok)
+
+    def test_dead_node_loses_spills(self):
+        env, cluster, security, services = make_services()
+        tok = security.issue("JOB", "app1")
+        svc = services.on_node("node0000")
+        svc.register_spill("app1", "s1", {0: [1]}, token=tok)
+        cluster.crash_node("node0000")
+        with pytest.raises(SpillLost):
+            svc.fetch("s1", 0, "app1", tok)
+
+    def test_wrong_token_rejected(self):
+        from repro.yarn import AuthenticationError
+        env, cluster, security, services = make_services()
+        bad = security.issue("JOB", "other-app")
+        with pytest.raises(AuthenticationError):
+            services.on_node("node0000").register_spill(
+                "app1", "s1", {0: []}, token=bad
+            )
+
+    def test_app_cleanup(self):
+        env, cluster, security, services = make_services()
+        tok = security.issue("JOB", "app1")
+        svc = services.on_node("node0000")
+        svc.register_spill("app1", "s1", {0: [1]}, token=tok)
+        assert svc.spill_count("app1") == 1
+        services.delete_app("app1")
+        assert svc.spill_count("app1") == 0
+
+    def test_bytes_per_record_hint(self):
+        env, cluster, security, services = make_services()
+        tok = security.issue("JOB", "app1")
+        refs = services.on_node("node0000").register_spill(
+            "app1", "s1", {0: [1, 2, 3]}, token=tok,
+            bytes_per_record=1000,
+        )
+        assert refs[0].nbytes == 3000
+
+
+class TestFetcher:
+    def run_fetch(self, error_rate=0.0, kill_node=False):
+        spec = ClusterSpec(num_nodes=4, nodes_per_rack=2,
+                           shuffle_transient_error_rate=error_rate)
+        env = Environment()
+        cluster = Cluster(env, spec)
+        security = SecurityManager()
+        services = ShuffleServices(cluster, security)
+        tok = security.issue("JOB", "app1")
+        refs = services.on_node("node0000").register_spill(
+            "app1", "s1", {0: [("k", 1)] * 10}, token=tok
+        )
+        if kill_node:
+            cluster.crash_node("node0000")
+        fetcher = Fetcher(env, cluster, services, "app1",
+                          reader_node="node0003", job_token=tok)
+        proc = env.process(fetcher.fetch(refs[0]))
+        env.run()
+        return proc, fetcher
+
+    def test_basic_fetch(self):
+        proc, fetcher = self.run_fetch()
+        assert proc.value == [("k", 1)] * 10
+        assert fetcher.bytes_fetched > 0
+
+    def test_transient_errors_retried(self):
+        proc, fetcher = self.run_fetch(error_rate=0.5)
+        assert proc.value == [("k", 1)] * 10
+        assert fetcher.retries >= 0  # retried internally, still done
+
+    def test_lost_spill_raises_fetch_failure(self):
+        spec = ClusterSpec(num_nodes=4, nodes_per_rack=2)
+        env = Environment()
+        cluster = Cluster(env, spec)
+        security = SecurityManager()
+        services = ShuffleServices(cluster, security)
+        tok = security.issue("JOB", "app1")
+        refs = services.on_node("node0000").register_spill(
+            "app1", "s1", {0: [1]}, token=tok
+        )
+        cluster.crash_node("node0000")
+        fetcher = Fetcher(env, cluster, services, "app1",
+                          reader_node="node0003", job_token=tok)
+        caught = []
+
+        def body():
+            try:
+                yield env.process(fetcher.fetch(refs[0]))
+            except FetchFailure as exc:
+                caught.append(exc.ref)
+
+        env.process(body())
+        env.run()
+        assert caught and caught[0].spill_id == "s1"
+
+    def test_local_fetch_faster_than_remote(self):
+        spec = ClusterSpec(num_nodes=4, nodes_per_rack=2)
+        env = Environment()
+        cluster = Cluster(env, spec)
+        security = SecurityManager()
+        services = ShuffleServices(cluster, security)
+        tok = security.issue("JOB", "app1")
+        refs = services.on_node("node0000").register_spill(
+            "app1", "s1", {0: [("k", "v" * 100)] * 5000}, token=tok,
+            bytes_per_record=10_000,
+        )
+
+        def timed(node):
+            f = Fetcher(env, cluster, services, "app1",
+                        reader_node=node, job_token=tok)
+            start = env.now
+            proc = env.process(f.fetch(refs[0]))
+            env.run(until=proc)
+            return env.now - start
+
+        local = timed("node0000")
+        remote = timed("node0003")
+        assert local < remote

@@ -1,0 +1,352 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Resource,
+    SimulationError,
+    Store,
+)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    done = []
+    def proc():
+        yield env.timeout(5)
+        done.append(env.now)
+        yield env.timeout(2.5)
+        done.append(env.now)
+    env.process(proc())
+    env.run()
+    assert done == [5, 7.5]
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+    seen = []
+    def proc():
+        v = yield env.timeout(1, value="hello")
+        seen.append(v)
+    env.process(proc())
+    env.run()
+    assert seen == ["hello"]
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    ev = env.event()
+    got = []
+    def waiter():
+        got.append((yield ev))
+    def firer():
+        yield env.timeout(3)
+        ev.succeed(42)
+    env.process(waiter())
+    env.process(firer())
+    env.run()
+    assert got == [42]
+    assert env.now == 3
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    ev = env.event()
+    caught = []
+    def waiter():
+        try:
+            yield ev
+        except ValueError as exc:
+            caught.append(str(exc))
+    def firer():
+        yield env.timeout(1)
+        ev.fail(ValueError("boom"))
+    env.process(waiter())
+    env.process(firer())
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_double_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_process_return_value():
+    env = Environment()
+    def child():
+        yield env.timeout(2)
+        return "result"
+    def parent(results):
+        value = yield env.process(child())
+        results.append(value)
+    results = []
+    env.process(parent(results))
+    env.run()
+    assert results == ["result"]
+
+
+def test_process_exception_propagates_to_parent():
+    env = Environment()
+    def child():
+        yield env.timeout(1)
+        raise RuntimeError("child died")
+    def parent(caught):
+        try:
+            yield env.process(child())
+        except RuntimeError as exc:
+            caught.append(str(exc))
+    caught = []
+    env.process(parent(caught))
+    env.run()
+    assert caught == ["child died"]
+
+
+def test_unhandled_process_failure_surfaces_in_run():
+    env = Environment()
+    def bad():
+        yield env.timeout(1)
+        raise RuntimeError("unhandled")
+    env.process(bad())
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_interrupt_running_process():
+    env = Environment()
+    log = []
+    def victim():
+        try:
+            yield env.timeout(100)
+            log.append("finished")
+        except Interrupt as intr:
+            log.append(("interrupted", intr.cause, env.now))
+    v = env.process(victim())
+    def killer():
+        yield env.timeout(4)
+        v.interrupt("reason")
+    env.process(killer())
+    env.run()
+    assert log == [("interrupted", "reason", 4)]
+
+
+def test_interrupt_dead_process_is_noop():
+    env = Environment()
+    def quick():
+        yield env.timeout(1)
+    p = env.process(quick())
+    env.run()
+    p.interrupt()  # must not raise
+    env.run()
+
+
+def test_run_until_time_stops_midway():
+    env = Environment()
+    marks = []
+    def proc():
+        for _ in range(10):
+            yield env.timeout(1)
+            marks.append(env.now)
+    env.process(proc())
+    env.run(until=4.5)
+    assert marks == [1, 2, 3, 4]
+    assert env.now == 4.5
+
+
+def test_run_until_event():
+    env = Environment()
+    ev = env.event()
+    def firer():
+        yield env.timeout(7)
+        ev.succeed("val")
+    env.process(firer())
+    assert env.run(until=ev) == "val"
+    assert env.now == 7
+
+
+def test_run_until_event_never_fires_raises():
+    env = Environment()
+    ev = env.event()
+    def other():
+        yield env.timeout(1)
+    env.process(other())
+    with pytest.raises(SimulationError):
+        env.run(until=ev)
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    times = []
+    def proc():
+        t1 = env.timeout(3)
+        t2 = env.timeout(5)
+        yield AllOf(env, [t1, t2])
+        times.append(env.now)
+    env.process(proc())
+    env.run()
+    assert times == [5]
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    times = []
+    def proc():
+        t1 = env.timeout(3)
+        t2 = env.timeout(5)
+        yield AnyOf(env, [t1, t2])
+        times.append(env.now)
+    env.process(proc())
+    env.run()
+    assert times == [3]
+
+
+def test_all_of_empty_is_immediate():
+    env = Environment()
+    done = []
+    def proc():
+        yield env.all_of([])
+        done.append(env.now)
+    env.process(proc())
+    env.run()
+    assert done == [0]
+
+
+def test_event_ordering_fifo_at_same_time():
+    env = Environment()
+    order = []
+    def make(i):
+        def proc():
+            yield env.timeout(1)
+            order.append(i)
+        return proc
+    for i in range(5):
+        env.process(make(i)())
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_yield_already_processed_event():
+    env = Environment()
+    ev = env.event()
+    ev.succeed("x")
+    got = []
+    def late():
+        yield env.timeout(5)
+        got.append((yield ev))
+    env.process(late())
+    env.run()
+    assert got == ["x"]
+
+
+class TestResource:
+    def test_fifo_granting(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+        def worker(name, hold):
+            req = res.request()
+            yield req
+            log.append((name, "start", env.now))
+            yield env.timeout(hold)
+            res.release()
+            log.append((name, "end", env.now))
+        env.process(worker("a", 3))
+        env.process(worker("b", 2))
+        env.run()
+        assert log == [
+            ("a", "start", 0), ("a", "end", 3),
+            ("b", "start", 3), ("b", "end", 5),
+        ]
+
+    def test_capacity_parallelism(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        ends = []
+        def worker():
+            req = res.request()
+            yield req
+            yield env.timeout(10)
+            res.release()
+            ends.append(env.now)
+        for _ in range(4):
+            env.process(worker())
+        env.run()
+        assert ends == [10, 10, 20, 20]
+
+    def test_cancel_pending_request(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        assert r1.triggered and not r2.triggered
+        r2.cancel()
+        res.release()
+        assert res.available == 1
+
+    def test_release_without_request_raises(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        with pytest.raises(RuntimeError):
+            res.release()
+
+
+class TestStore:
+    def test_put_get_order(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+        def consumer():
+            for _ in range(3):
+                got.append((yield store.get()))
+        def producer():
+            for i in range(3):
+                yield env.timeout(1)
+                store.put(i)
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert got == [0, 1, 2]
+
+    def test_bounded_capacity_blocks_putter(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        times = []
+        def producer():
+            yield store.put("a")
+            yield store.put("b")
+            times.append(env.now)
+        def consumer():
+            yield env.timeout(5)
+            yield store.get()
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert times == [5]
+
+    def test_get_before_put(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+        def consumer():
+            got.append((yield store.get()))
+        env.process(consumer())
+        def producer():
+            yield env.timeout(2)
+            store.put("late")
+        env.process(producer())
+        env.run()
+        assert got == ["late"]

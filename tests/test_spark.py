@@ -1,0 +1,202 @@
+"""Spark engine tests: both backends compute identical results."""
+
+import pytest
+
+from repro.engines.spark import SparkContext, compile_stages
+
+from helpers import make_sim
+
+DATA = [("a", 1), ("b", 2), ("a", 3), ("c", 4), ("b", 5), ("a", 6)]
+
+
+@pytest.fixture(params=["tez", "service"])
+def sc(request):
+    sim = make_sim()
+    sim.hdfs.write("/data/kv", DATA, record_bytes=16)
+    sim.hdfs.write("/data/nums", list(range(100)), record_bytes=8)
+    context = SparkContext(sim, backend=request.param)
+    yield context
+    context.stop()
+    sim.env.run(until=sim.env.now + 30)
+
+
+def test_map_filter_count(sc):
+    rdd = sc.hdfs_file("/data/nums").map(lambda x: x * 2) \
+        .filter(lambda x: x % 4 == 0)
+    assert sc.run(rdd.count()) == 50
+
+
+def test_collect_flat_map(sc):
+    rdd = sc.hdfs_file("/data/nums") \
+        .filter(lambda x: x < 3) \
+        .flat_map(lambda x: [x, x])
+    got = sorted(sc.run(rdd.collect()))
+    assert got == [0, 0, 1, 1, 2, 2]
+
+
+def test_reduce_by_key(sc):
+    rdd = sc.hdfs_file("/data/kv").reduce_by_key(lambda a, b: a + b)
+    got = dict(sc.run(rdd.collect()))
+    assert got == {"a": 10, "b": 7, "c": 4}
+
+
+def test_group_by_key(sc):
+    rdd = sc.hdfs_file("/data/kv").group_by_key() \
+        .map_values(sorted)
+    got = dict(sc.run(rdd.collect()))
+    assert got == {"a": [1, 3, 6], "b": [2, 5], "c": [4]}
+
+
+def test_distinct(sc):
+    rdd = sc.hdfs_file("/data/nums").map(lambda x: x % 5).distinct()
+    assert sorted(sc.run(rdd.collect())) == [0, 1, 2, 3, 4]
+
+
+def test_join(sc):
+    left = sc.hdfs_file("/data/kv")
+    right = sc.hdfs_file("/data/kv").reduce_by_key(lambda a, b: a + b)
+    joined = left.join(right)
+    got = sorted(sc.run(joined.collect()), key=repr)
+    assert ("a", (1, 10)) in got
+    assert len(got) == len(DATA)
+
+
+def test_union(sc):
+    a = sc.hdfs_file("/data/nums").filter(lambda x: x < 2)
+    b = sc.hdfs_file("/data/nums").filter(lambda x: x >= 98)
+    got = sorted(sc.run(a.union(b).collect()))
+    assert got == [0, 1, 98, 99]
+
+
+def test_save_as_file(sc):
+    rdd = sc.hdfs_file("/data/kv").reduce_by_key(lambda a, b: a + b)
+    path = sc.run(rdd.save_as_file(f"/out/spark_{sc.backend.name}"))
+    rows = dict(sc.sim.hdfs.read_file(path))
+    assert rows == {"a": 10, "b": 7, "c": 4}
+
+
+def test_partition_by_then_save(sc):
+    rdd = sc.hdfs_file("/data/kv").partition_by(3)
+    path = sc.run(rdd.save_as_file(f"/out/part_{sc.backend.name}"))
+    rows = sc.sim.hdfs.read_file(path)
+    assert sorted(rows, key=repr) == sorted(DATA, key=repr)
+
+
+def test_chained_wide_ops(sc):
+    rdd = (
+        sc.hdfs_file("/data/kv")
+        .reduce_by_key(lambda a, b: a + b)
+        .map(lambda kv: (kv[1] % 2, kv[1]))
+        .group_by_key()
+        .map_values(sorted)
+    )
+    got = dict(sc.run(rdd.collect()))
+    assert got == {0: [4, 10], 1: [7]}
+
+
+class TestStageCompiler:
+    def make_ctx(self):
+        sim = make_sim()
+        return SparkContext(sim, backend="tez")
+
+    def test_narrow_ops_fuse_into_one_stage(self):
+        sc = self.make_ctx()
+        rdd = sc.hdfs_file("/x").map(lambda x: x).filter(bool) \
+            .flat_map(lambda x: [x])
+        stages, result = compile_stages(rdd)
+        assert len(stages) == 1
+        assert result.sources
+
+    def test_wide_op_cuts_stage(self):
+        sc = self.make_ctx()
+        rdd = sc.hdfs_file("/x").map(lambda x: (x, 1)) \
+            .reduce_by_key(lambda a, b: a + b)
+        stages, result = compile_stages(rdd)
+        assert len(stages) == 2
+        assert stages[0].shuffle_emit is not None
+        assert result.parents
+
+    def test_join_has_two_parents(self):
+        sc = self.make_ctx()
+        a = sc.hdfs_file("/a").map(lambda x: (x, 1))
+        b = sc.hdfs_file("/b").map(lambda x: (x, 2))
+        stages, result = compile_stages(a.join(b))
+        assert len(result.parents) == 2
+
+    def test_stage_order_is_topological(self):
+        sc = self.make_ctx()
+        rdd = sc.hdfs_file("/a").map(lambda x: (x, 1)) \
+            .reduce_by_key(lambda a, b: a + b) \
+            .map(lambda kv: (kv[1], kv[0])) \
+            .group_by_key()
+        stages, result = compile_stages(rdd)
+        position = {s.stage_id: i for i, s in enumerate(stages)}
+        for stage in stages:
+            for parent, _t in stage.parents:
+                assert position[parent.stage_id] < position[stage.stage_id]
+
+    def test_unknown_backend_rejected(self):
+        sim = make_sim()
+        with pytest.raises(ValueError):
+            SparkContext(sim, backend="flink")
+
+
+def test_service_backend_holds_containers_tez_releases():
+    """The crux of Figures 12/13: after a job finishes, the service
+    backend still occupies its executors; Tez lets them go."""
+    def held_after_job(backend):
+        sim = make_sim(num_nodes=4, nodes_per_rack=2)
+        sim.hdfs.write("/data/kv", DATA * 20, record_bytes=16)
+        sc = SparkContext(sim, backend=backend, num_executors=4)
+        rdd = sc.hdfs_file("/data/kv").reduce_by_key(lambda a, b: a + b)
+        sc.run(rdd.collect())
+        # Let idle-container reaping happen.
+        sim.env.run(until=sim.env.now + 90)
+        used = sum(
+            nm.used.memory_mb for nm in sim.rm.node_managers.values()
+        )
+        sc.stop()
+        return used
+
+    service_used = held_after_job("service")
+    tez_used = held_after_job("tez")
+    # Tez holds at most the session AM; the service holds executors too.
+    assert service_used > tez_used
+
+
+class TestCaching:
+    def test_cache_materialized_once_and_reused(self):
+        sim = make_sim()
+        sim.hdfs.write("/data/kv", DATA * 10, record_bytes=16)
+        sc = SparkContext(sim, backend="tez")
+        base = (
+            sc.hdfs_file("/data/kv")
+            .reduce_by_key(lambda a, b: a + b)
+            .cache()
+        )
+        first = dict(sc.run(base.collect()))
+        assert base._cache_path is not None
+        cached_path = base._cache_path
+        # Cache lives in the HDFS in-memory tier.
+        blocks = sim.hdfs.get_file(cached_path).blocks
+        assert all(b.storage == "memory" for b in blocks)
+        # A second job over the cached RDD reuses the materialization.
+        doubled = dict(
+            sc.run(base.map_values(lambda v: v * 2).collect())
+        )
+        assert doubled == {k: v * 2 for k, v in first.items()}
+        assert base._cache_path == cached_path
+        sc.stop()
+
+    def test_cached_iterations_converge_identically(self):
+        sim = make_sim()
+        sim.hdfs.write("/data/nums", list(range(200)), record_bytes=8)
+        sc = SparkContext(sim, backend="tez")
+        squares = sc.hdfs_file("/data/nums") \
+            .map(lambda x: (x % 5, x)).cache()
+        totals = []
+        for _ in range(3):
+            rdd = squares.reduce_by_key(lambda a, b: a + b)
+            totals.append(sorted(sc.run(rdd.collect())))
+        assert totals[0] == totals[1] == totals[2]
+        sc.stop()

@@ -1,0 +1,138 @@
+"""Session, client and recovery-log behaviour (paper 4.2/4.3)."""
+
+import pytest
+
+from repro.tez import TezConfig
+from repro.tez.am import RecoveryLog
+from repro.yarn import FinalApplicationStatus
+
+from helpers import (
+    SG,
+    edge,
+    fn_vertex,
+    hdfs_sink,
+    hdfs_source,
+    make_sim,
+    run_dag,
+)
+from repro.tez import DAG
+
+
+def small_dag(name, out):
+    m = fn_vertex("m", lambda c, d: {"r": list(d["src"])}, -1)
+    hdfs_source(m, "src", ["/in"])
+    r = fn_vertex("r", lambda c, d: {"out": [
+        (k, len(vs)) for k, vs in d["m"]
+    ]}, 2)
+    hdfs_sink(r, "out", out)
+    dag = DAG(name).add_vertex(m).add_vertex(r)
+    dag.add_edge(edge(m, r, SG))
+    return dag
+
+
+class TestRecoveryLog:
+    def test_record_and_lookup(self):
+        log = RecoveryLog()
+        log.record_success("d", "v", 0, ["ev"], "node1")
+        assert log.successes("d") == {("v", 0): (["ev"], "node1")}
+
+    def test_invalidate(self):
+        log = RecoveryLog()
+        log.record_success("d", "v", 0, [], "n")
+        log.invalidate("d", "v", 0)
+        assert log.successes("d") == {}
+
+    def test_dag_finished_clears(self):
+        log = RecoveryLog()
+        log.record_success("d", "v", 0, [], "n")
+        log.record_dag_finished("d")
+        assert log.dag_finished("d")
+        assert log.successes("d") == {}
+
+    def test_independent_dags(self):
+        log = RecoveryLog()
+        log.record_success("a", "v", 0, [], "n")
+        log.record_success("b", "v", 1, [], "n")
+        assert ("v", 0) in log.successes("a")
+        assert ("v", 0) not in log.successes("b")
+
+
+class TestSessionLifecycle:
+    def test_session_runs_many_dags_in_one_app(self):
+        sim = make_sim()
+        sim.hdfs.write("/in", [(i % 5, i) for i in range(50)],
+                       record_bytes=16)
+        client = sim.tez_client(session=True)
+        statuses = []
+        for i in range(3):
+            status, _ = run_dag(sim, small_dag(f"d{i}", f"/o{i}"),
+                                client=client)
+            statuses.append(status)
+        client.stop()
+        assert all(s.succeeded for s in statuses)
+        # One application served everything.
+        assert client._app_handle is not None
+        sim.env.run(until=sim.env.now + 120)
+        assert client._app_handle.final_status == \
+            FinalApplicationStatus.SUCCEEDED
+
+    def test_submit_after_stop_rejected(self):
+        sim = make_sim()
+        client = sim.tez_client(session=True)
+        client.start()
+        client.stop()
+        with pytest.raises(RuntimeError):
+            client.submit_dag(small_dag("late", "/o"))
+
+    def test_prewarm_requires_session(self):
+        sim = make_sim()
+        client = sim.tez_client(session=False)
+        with pytest.raises(RuntimeError):
+            client.prewarm(2)
+
+    def test_failed_dag_does_not_kill_session(self):
+        sim = make_sim()
+        sim.hdfs.write("/in", [(1, 1)], record_bytes=16)
+        client = sim.tez_client(
+            session=True, config=TezConfig(max_task_attempts=1),
+        )
+
+        def boom(ctx, data):
+            raise RuntimeError("nope")
+
+        bad_m = fn_vertex("m", boom, -1)
+        hdfs_source(bad_m, "src", ["/in"])
+        hdfs_sink(bad_m, "out", "/bad")
+        bad = DAG("bad").add_vertex(bad_m)
+        status_bad, _ = run_dag(sim, bad, client=client)
+        assert not status_bad.succeeded
+        # The session survives and runs the next DAG fine.
+        status_ok, _ = run_dag(sim, small_dag("ok", "/ok"),
+                               client=client)
+        assert status_ok.succeeded
+        client.stop()
+
+    def test_idle_session_releases_containers_eventually(self):
+        sim = make_sim()
+        sim.hdfs.write("/in", [(i % 5, i) for i in range(50)],
+                       record_bytes=16)
+        config = TezConfig(session_idle_timeout=20.0)
+        client = sim.tez_client(session=True, config=config)
+        status, _ = run_dag(sim, small_dag("d", "/o"), client=client)
+        assert status.succeeded
+        sim.env.run(until=sim.env.now + 60)
+        am = client.last_am
+        assert am.scheduler.held_containers() == 0
+        client.stop()
+
+    def test_non_session_apps_are_independent(self):
+        sim = make_sim()
+        sim.hdfs.write("/in", [(i % 5, i) for i in range(50)],
+                       record_bytes=16)
+        client = sim.tez_client(session=False)
+        s1, _ = run_dag(sim, small_dag("a", "/a"), client=client)
+        s2, _ = run_dag(sim, small_dag("b", "/b"), client=client)
+        assert s1.succeeded and s2.succeeded
+        # No cross-DAG reuse without a session: both paid launches.
+        assert s1.metrics["containers_launched"] >= 1
+        assert s2.metrics["containers_launched"] >= 1

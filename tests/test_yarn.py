@@ -1,0 +1,351 @@
+"""Integration tests for the simulated YARN layer."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.sim import Environment
+from repro.yarn import (
+    AuthenticationError,
+    ContainerExitStatus,
+    ContainerState,
+    FinalApplicationStatus,
+    Priority,
+    QueueConfig,
+    Resource,
+    ResourceManager,
+    SecurityManager,
+)
+
+TASK_PRI = Priority(5)
+SMALL = Resource(1024, 1)
+
+
+def make_rm(num_nodes=4, nodes_per_rack=2, queues=None, **spec_overrides):
+    spec = ClusterSpec(
+        num_nodes=num_nodes,
+        nodes_per_rack=nodes_per_rack,
+        memory_per_node_mb=8192,
+        cores_per_node=8,
+        **spec_overrides,
+    )
+    env = Environment()
+    cluster = Cluster(env, spec)
+    rm = ResourceManager(env, cluster, queues=queues)
+    return env, cluster, rm
+
+
+def test_simple_am_allocates_and_completes():
+    env, cluster, rm = make_rm()
+    trace = {}
+
+    def am(ctx):
+        ctx.register()
+        ctx.request_containers(TASK_PRI, SMALL, count=2)
+        containers = []
+        for _ in range(2):
+            c = yield ctx.allocated.get()
+            containers.append(c)
+
+        def task(container):
+            yield env.timeout(container.compute_delay(2.0))
+
+        for c in containers:
+            ctx.launch_container(c, task)
+        done = 0
+        while done < 2:
+            status = yield ctx.completed.get()
+            assert status.exit_status == ContainerExitStatus.SUCCESS
+            done += 1
+        trace["finished_at"] = env.now
+        ctx.unregister(FinalApplicationStatus.SUCCEEDED, result="ok")
+
+    handle = rm.submit_application("test", am)
+    env.run(until=handle.completion)
+    assert handle.final_status == FinalApplicationStatus.SUCCEEDED
+    assert handle.result == "ok"
+    assert trace["finished_at"] > 0
+    # Cluster fully drained afterwards.
+    env.run(until=env.now + 5)
+    for nm in rm.node_managers.values():
+        assert nm.used == Resource(0, 0)
+
+
+def test_node_local_allocation_preferred():
+    env, cluster, rm = make_rm(num_nodes=6, nodes_per_rack=3)
+    where = {}
+
+    def am(ctx):
+        ctx.register()
+        ctx.request_containers(TASK_PRI, SMALL, nodes=["node0002"])
+        c = yield ctx.allocated.get()
+        where["node"] = c.node_id
+        ctx.unregister(FinalApplicationStatus.SUCCEEDED)
+
+    handle = rm.submit_application("loc", am)
+    env.run(until=handle.completion)
+    assert where["node"] == "node0002"
+
+
+def test_delay_scheduling_falls_back_when_node_busy():
+    # Ask for a node with zero capacity: after the delay threshold the
+    # scheduler must relax to rack and then ANY.
+    env, cluster, rm = make_rm(num_nodes=4, nodes_per_rack=2)
+    # Saturate node0000 by faking usage.
+    nm0 = rm.node_managers["node0000"]
+    nm0.used = nm0.total
+    where = {}
+
+    def am(ctx):
+        ctx.register()
+        ctx.request_containers(TASK_PRI, SMALL, nodes=["node0000"])
+        c = yield ctx.allocated.get()
+        where["node"] = c.node_id
+        where["t"] = env.now
+        ctx.unregister(FinalApplicationStatus.SUCCEEDED)
+
+    handle = rm.submit_application("delay", am)
+    env.run(until=handle.completion)
+    assert where["node"] != "node0000"
+    # Fallback happened only after the delay-scheduling wait.
+    assert where["t"] > 1.0
+
+
+def test_strict_locality_never_relaxes():
+    env, cluster, rm = make_rm(num_nodes=4, nodes_per_rack=2)
+    nm0 = rm.node_managers["node0000"]
+    nm0.used = nm0.total
+    got = []
+
+    def am(ctx):
+        ctx.register()
+        ctx.request_containers(TASK_PRI, SMALL, nodes=["node0000"],
+                               racks=[], relax_locality=False)
+        c = yield ctx.allocated.get()
+        got.append(c)
+        ctx.unregister(FinalApplicationStatus.SUCCEEDED)
+
+    rm.submit_application("strict", am)
+    env.run(until=200)
+    assert got == []  # starved forever, never placed off-node
+
+
+def test_container_reuse_keeps_jvm_warm():
+    env, cluster, rm = make_rm()
+    timings = []
+
+    def am(ctx):
+        ctx.register()
+        ctx.request_containers(TASK_PRI, SMALL)
+        c = yield ctx.allocated.get()
+
+        def runner(container):
+            for _ in range(3):
+                start = env.now
+                yield env.timeout(container.compute_delay(2.0))
+                timings.append(env.now - start)
+                container.tasks_run += 1
+
+        ctx.launch_container(c, runner)
+        yield ctx.completed.get()
+        ctx.unregister(FinalApplicationStatus.SUCCEEDED)
+
+    handle = rm.submit_application("warm", am)
+    env.run(until=handle.completion)
+    assert len(timings) == 3
+    assert timings[0] > timings[-1]          # cold start slower
+    assert timings[-1] == pytest.approx(2.0)  # warm runs at full speed
+
+
+def test_am_retry_after_crash():
+    env, cluster, rm = make_rm()
+    attempts = []
+
+    def am(ctx):
+        attempts.append(ctx.attempt)
+        ctx.register()
+        if ctx.attempt == 1:
+            yield env.timeout(1)
+            raise RuntimeError("AM crash")
+        yield env.timeout(1)
+        ctx.unregister(FinalApplicationStatus.SUCCEEDED)
+
+    handle = rm.submit_application("flaky", am, max_attempts=2)
+    env.run(until=handle.completion)
+    assert attempts == [1, 2]
+    assert handle.final_status == FinalApplicationStatus.SUCCEEDED
+
+
+def test_am_fails_after_max_attempts():
+    env, cluster, rm = make_rm()
+
+    def am(ctx):
+        ctx.register()
+        yield env.timeout(1)
+        raise RuntimeError("always dies")
+
+    handle = rm.submit_application("doomed", am, max_attempts=2)
+    env.run(until=handle.completion)
+    assert handle.final_status == FinalApplicationStatus.FAILED
+    assert "always dies" in handle.diagnostics
+
+
+def test_node_crash_kills_containers_and_notifies_am():
+    env, cluster, rm = make_rm()
+    events = []
+
+    def am(ctx):
+        ctx.register()
+        ctx.on_node_loss(lambda node: events.append(("lost", node.node_id)))
+        ctx.request_containers(TASK_PRI, SMALL)
+        c = yield ctx.allocated.get()
+
+        def long_task(container):
+            yield env.timeout(1000)
+
+        ctx.launch_container(c, long_task)
+
+        def crasher():
+            yield env.timeout(10)
+            cluster.crash_node(c.node_id)
+
+        env.process(crasher())
+        status = yield ctx.completed.get()
+        events.append(("status", status.exit_status))
+        ctx.unregister(FinalApplicationStatus.SUCCEEDED)
+
+    handle = rm.submit_application("crash", am)
+    env.run(until=handle.completion)
+    kinds = [e[0] for e in events]
+    assert "lost" in kinds
+    assert ("status", ContainerExitStatus.NODE_LOST) in events
+
+
+def test_release_unlaunched_container():
+    env, cluster, rm = make_rm()
+
+    def am(ctx):
+        ctx.register()
+        ctx.request_containers(TASK_PRI, SMALL)
+        c = yield ctx.allocated.get()
+        ctx.release_container(c.container_id)
+        yield env.timeout(1)
+        ctx.unregister(FinalApplicationStatus.SUCCEEDED)
+
+    handle = rm.submit_application("release", am)
+    env.run(until=handle.completion)
+    env.run(until=env.now + 5)
+    for nm in rm.node_managers.values():
+        assert nm.used == Resource(0, 0)
+
+
+def test_capacity_queues_share_cluster():
+    queues = [QueueConfig("a", 0.5), QueueConfig("b", 0.5)]
+    env, cluster, rm = make_rm(num_nodes=2, nodes_per_rack=2, queues=queues)
+    finish = {}
+
+    def make_am(name, n_tasks):
+        def am(ctx):
+            ctx.register()
+            ctx.request_containers(TASK_PRI, SMALL, count=n_tasks)
+
+            def launcher():
+                for _ in range(n_tasks):
+                    c = yield ctx.allocated.get()
+
+                    def task(container):
+                        yield env.timeout(container.compute_delay(3.0))
+
+                    ctx.launch_container(c, task)
+
+            env.process(launcher())
+            for _ in range(n_tasks):
+                yield ctx.completed.get()
+            finish[name] = env.now
+            ctx.unregister(FinalApplicationStatus.SUCCEEDED)
+        return am
+
+    h1 = rm.submit_application("qa", make_am("a", 4), queue="a")
+    h2 = rm.submit_application("qb", make_am("b", 4), queue="b")
+    env.run(until=h1.completion)
+    env.run(until=h2.completion)
+    assert h1.final_status == FinalApplicationStatus.SUCCEEDED
+    assert h2.final_status == FinalApplicationStatus.SUCCEEDED
+    # Both made progress concurrently: finish times are close.
+    assert abs(finish["a"] - finish["b"]) < 30
+
+
+def test_unknown_queue_rejected():
+    env, cluster, rm = make_rm()
+    with pytest.raises(ValueError):
+        rm.submit_application("bad", lambda ctx: iter(()), queue="nope")
+
+
+class TestSecurity:
+    def test_token_roundtrip(self):
+        sm = SecurityManager()
+        tok = sm.issue("AMRM", "app1")
+        sm.verify(tok, "AMRM", "app1")
+
+    def test_wrong_kind_rejected(self):
+        sm = SecurityManager()
+        tok = sm.issue("NM", "app1")
+        with pytest.raises(AuthenticationError):
+            sm.verify(tok, "AMRM", "app1")
+
+    def test_wrong_owner_rejected(self):
+        sm = SecurityManager()
+        tok = sm.issue("AMRM", "app1")
+        with pytest.raises(AuthenticationError):
+            sm.verify(tok, "AMRM", "app2")
+
+    def test_forged_signature_rejected(self):
+        from repro.yarn import Token
+        sm = SecurityManager()
+        with pytest.raises(AuthenticationError):
+            sm.verify(Token("AMRM", "app1", "deadbeef"), "AMRM", "app1")
+
+    def test_missing_token_rejected(self):
+        sm = SecurityManager()
+        with pytest.raises(AuthenticationError):
+            sm.verify(None, "AMRM")
+
+    def test_disabled_security_allows_all(self):
+        sm = SecurityManager(enabled=False)
+        sm.verify(None, "AMRM")
+
+    def test_unregistered_am_cannot_request(self):
+        env, cluster, rm = make_rm()
+        errors = []
+
+        def am(ctx):
+            # Never calls register(): requests must be rejected.
+            try:
+                ctx.request_containers(TASK_PRI, SMALL)
+            except AuthenticationError:
+                errors.append("denied")
+            yield env.timeout(1)
+            ctx.amrm_token = rm.security.issue("AMRM", str(ctx.app_id))
+            ctx.unregister(FinalApplicationStatus.SUCCEEDED)
+
+        handle = rm.submit_application("sec", am)
+        env.run(until=handle.completion)
+        assert errors == ["denied"]
+
+
+class TestResourceRecords:
+    def test_fits_in(self):
+        assert Resource(512, 1).fits_in(Resource(1024, 2))
+        assert not Resource(2048, 1).fits_in(Resource(1024, 2))
+
+    def test_arithmetic(self):
+        assert Resource(1, 1) + Resource(2, 3) == Resource(3, 4)
+        assert Resource(3, 4) - Resource(2, 3) == Resource(1, 1)
+
+    def test_dominant_share(self):
+        total = Resource(100, 10)
+        assert Resource(50, 1).dominant_share(total) == pytest.approx(0.5)
+        assert Resource(10, 8).dominant_share(total) == pytest.approx(0.8)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(-1, 0)
