@@ -11,10 +11,19 @@ Subpackages:
 * ``repro.tez``      — the paper's contribution: the Tez framework
 * ``repro.engines``  — engines built on Tez: MapReduce, Hive, Pig, Spark
 * ``repro.workloads``— synthetic TPC-H/TPC-DS/ETL/k-means generators
+* ``repro.chaos``    — declarative fault injection (chaos testing)
 * ``repro.harness``  — one-line wiring of the whole simulated stack
 """
 
+from .chaos import ChaosController, Fault, FaultKind, FaultPlan
 from .harness import SimCluster
 
 __version__ = "0.1.0"
-__all__ = ["SimCluster", "__version__"]
+__all__ = [
+    "ChaosController",
+    "Fault",
+    "FaultKind",
+    "FaultPlan",
+    "SimCluster",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""Chaos engineering for the simulated stack: declarative fault plans
+executed deterministically against the cluster, YARN, and shuffle."""
+
+from .controller import ChaosController
+from .plan import Fault, FaultKind, FaultPlan
+
+__all__ = ["ChaosController", "Fault", "FaultKind", "FaultPlan"]

@@ -1,0 +1,131 @@
+"""Declarative fault plans: what breaks, when, and for how long.
+
+A :class:`FaultPlan` is a seeded, ordered schedule of :class:`Fault`
+specs — node crashes and restarts, slow (straggler) machines, rack
+outages, degraded or partitioned inter-rack links, lost shuffle
+outputs, and AM crashes. Plans are pure data: nothing happens until a
+:class:`~repro.chaos.controller.ChaosController` executes the plan
+against a live simulation. Given the same plan (same seed, same
+faults) a run is fully deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+__all__ = ["FaultKind", "Fault", "FaultPlan"]
+
+
+class FaultKind(Enum):
+    NODE_CRASH = "node_crash"
+    NODE_RESTART = "node_restart"
+    SLOW_NODE = "slow_node"
+    RACK_OUTAGE = "rack_outage"
+    LINK_DEGRADE = "link_degrade"
+    SHUFFLE_OUTPUT_LOSS = "shuffle_output_loss"
+    AM_CRASH = "am_crash"
+
+
+@dataclass
+class Fault:
+    """One scheduled fault. Unused fields are ignored by the kind."""
+
+    kind: FaultKind
+    at: float                           # injection time (sim seconds)
+    node: Optional[str] = None          # target node (None: pick a victim)
+    rack: Optional[str] = None          # target rack (None: pick a victim)
+    rack_a: Optional[str] = None        # link endpoint racks
+    rack_b: Optional[str] = None
+    duration: Optional[float] = None    # auto-heal after this long
+    speed: float = 0.5                  # SLOW_NODE: relative speed
+    bandwidth_factor: float = 1.0       # LINK_DEGRADE: <1.0 slows the link
+    loss_rate: float = 0.0              # LINK_DEGRADE: extra blip probability
+    partitioned: bool = False           # LINK_DEGRADE: nothing gets through
+    pattern: str = ""                   # SHUFFLE_OUTPUT_LOSS: spill-id substring
+    count: int = 1                      # SHUFFLE_OUTPUT_LOSS: spills to drop
+    wait: float = 15.0                  # SHUFFLE_OUTPUT_LOSS: hunt window
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise ValueError("fault time must be >= 0")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("fault duration must be positive")
+        if self.kind == FaultKind.SLOW_NODE and not 0 < self.speed <= 1.0:
+            raise ValueError("speed must be in (0, 1]")
+        if self.kind == FaultKind.SHUFFLE_OUTPUT_LOSS and self.count < 1:
+            raise ValueError("count must be >= 1")
+
+
+class FaultPlan:
+    """A chainable builder for an ordered chaos schedule::
+
+        plan = (FaultPlan(seed=42)
+                .crash_node(at=4.0, restart_after=10.0)
+                .rack_outage(at=8.0, duration=30.0)
+                .drop_shuffle_output(at=6.0, pattern="m/"))
+
+    Faults fire in time order; ties break in insertion order. The seed
+    drives every random decision the controller makes (victim picks),
+    so the same plan against the same workload replays identically.
+    """
+
+    def __init__(self, seed: int = 17):
+        self.seed = seed
+        self.faults: list[Fault] = []
+
+    def add(self, fault: Fault) -> "FaultPlan":
+        self.faults.append(fault)
+        return self
+
+    # ------------------------------------------------------------ builders
+    def crash_node(self, at: float, node: Optional[str] = None,
+                   restart_after: Optional[float] = None) -> "FaultPlan":
+        """Hard-crash a node (the busiest non-AM node when unnamed);
+        optionally restart it ``restart_after`` seconds later."""
+        return self.add(Fault(FaultKind.NODE_CRASH, at, node=node,
+                              duration=restart_after))
+
+    def restart_node(self, at: float,
+                     node: Optional[str] = None) -> "FaultPlan":
+        """Restart a crashed node (the longest-dead one when unnamed)."""
+        return self.add(Fault(FaultKind.NODE_RESTART, at, node=node))
+
+    def slow_node(self, at: float, node: Optional[str] = None,
+                  speed: float = 0.5,
+                  duration: Optional[float] = None) -> "FaultPlan":
+        """Degrade a machine to ``speed`` (straggler injection)."""
+        return self.add(Fault(FaultKind.SLOW_NODE, at, node=node,
+                              speed=speed, duration=duration))
+
+    def rack_outage(self, at: float, rack: Optional[str] = None,
+                    duration: Optional[float] = None) -> "FaultPlan":
+        """Make a whole rack unreachable (nodes up, network gone)."""
+        return self.add(Fault(FaultKind.RACK_OUTAGE, at, rack=rack,
+                              duration=duration))
+
+    def degrade_link(self, at: float, rack_a: Optional[str] = None,
+                     rack_b: Optional[str] = None,
+                     bandwidth_factor: float = 1.0,
+                     loss_rate: float = 0.0, partitioned: bool = False,
+                     duration: Optional[float] = None) -> "FaultPlan":
+        """Make an inter-rack link slow, flaky, or fully partitioned."""
+        return self.add(Fault(
+            FaultKind.LINK_DEGRADE, at, rack_a=rack_a, rack_b=rack_b,
+            bandwidth_factor=bandwidth_factor, loss_rate=loss_rate,
+            partitioned=partitioned, duration=duration,
+        ))
+
+    def drop_shuffle_output(self, at: float, pattern: str = "",
+                            count: int = 1,
+                            wait: float = 15.0) -> "FaultPlan":
+        """Delete up to ``count`` registered spills whose id contains
+        ``pattern``, polling for up to ``wait`` seconds for one to
+        appear (outputs may not exist yet at injection time)."""
+        return self.add(Fault(FaultKind.SHUFFLE_OUTPUT_LOSS, at,
+                              pattern=pattern, count=count, wait=wait))
+
+    def crash_am(self, at: float) -> "FaultPlan":
+        """Kill the ApplicationMaster's container (recovery drill)."""
+        return self.add(Fault(FaultKind.AM_CRASH, at))

@@ -1,6 +1,7 @@
 """Simulated physical cluster: topology, capacity, and cost model."""
 
 from .spec import ClusterSpec
-from .topology import Cluster, Node, LOCAL, RACK_LOCAL, REMOTE
+from .topology import Cluster, LinkState, Node, LOCAL, RACK_LOCAL, REMOTE
 
-__all__ = ["Cluster", "ClusterSpec", "Node", "LOCAL", "RACK_LOCAL", "REMOTE"]
+__all__ = ["Cluster", "ClusterSpec", "LinkState", "Node", "LOCAL",
+           "RACK_LOCAL", "REMOTE"]

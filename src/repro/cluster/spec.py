@@ -57,7 +57,11 @@ class ClusterSpec:
     # -- reliability ------------------------------------------------------
     shuffle_transient_error_rate: float = 0.0  # probability per fetch
     shuffle_max_retries: int = 3
-    shuffle_retry_backoff: float = 0.5
+    shuffle_retry_backoff: float = 0.5         # base of the exponential backoff
+    shuffle_retry_backoff_cap: float = 5.0     # per-retry wait ceiling
+    shuffle_retry_total_timeout: float = 20.0  # total retry budget per fetch
+    shuffle_fetch_timeout: float = 1.5         # hang time on a partitioned link
+    node_liveness_timeout: float = 2.0         # missed-heartbeat window -> LOST
 
     # -- misc --------------------------------------------------------------
     hdfs_replication: int = 3
@@ -73,6 +77,10 @@ class ClusterSpec:
             raise ValueError("nodes_per_rack must be >= 1")
         if self.hdfs_replication < 1:
             raise ValueError("hdfs_replication must be >= 1")
+        if self.node_liveness_timeout <= 0:
+            raise ValueError("node_liveness_timeout must be > 0")
+        if self.shuffle_retry_total_timeout <= 0:
+            raise ValueError("shuffle_retry_total_timeout must be > 0")
 
     @property
     def num_racks(self) -> int:

@@ -1,18 +1,35 @@
-"""Physical cluster model: racks, nodes, and locality relationships."""
+"""Physical cluster model: racks, nodes, locality, and network health.
+
+Besides the static topology this tracks the *dynamic* network state the
+chaos subsystem manipulates: per-rack-pair link degradation (reduced
+bandwidth, packet loss, full partition) and per-node isolation (a rack
+outage leaves machines running but unreachable — heartbeats stop and
+shuffle fetches hang, which is how partitions surface upstream).
+"""
 
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
 from ..sim import Environment
 from .spec import ClusterSpec
 
-__all__ = ["Node", "Cluster", "LOCAL", "RACK_LOCAL", "REMOTE"]
+__all__ = ["Node", "Cluster", "LinkState", "LOCAL", "RACK_LOCAL", "REMOTE"]
 
 LOCAL = "local"
 RACK_LOCAL = "rack"
 REMOTE = "remote"
+
+
+@dataclass
+class LinkState:
+    """Health of the network path between two racks."""
+
+    bandwidth_factor: float = 1.0   # <1.0 slows transfers on this link
+    loss_rate: float = 0.0          # extra transient-fetch-error probability
+    partitioned: bool = False       # nothing gets through at all
 
 
 class Node:
@@ -24,6 +41,9 @@ class Node:
         self.cores = cores
         self.memory_mb = memory_mb
         self.alive = True
+        # Network isolation: the machine is up but unreachable (rack
+        # outage). Heartbeats and fetches involving it fail.
+        self.isolated = False
         # Relative execution speed; < 1.0 models a degraded machine
         # (the straggler scenario speculation targets).
         self.speed = 1.0
@@ -45,6 +65,8 @@ class Node:
 
     def __repr__(self) -> str:
         state = "up" if self.alive else "down"
+        if self.alive and self.isolated:
+            state = "isolated"
         return f"<Node {self.node_id} rack={self.rack} {state}>"
 
 
@@ -65,6 +87,8 @@ class Cluster:
                 memory_mb=spec.memory_per_node_mb,
             )
             self.nodes[node.node_id] = node
+        # Degraded / partitioned inter-rack links, keyed by rack pair.
+        self._links: dict[frozenset, LinkState] = {}
 
     # -- lookups ---------------------------------------------------------
     def node(self, node_id: str) -> Node:
@@ -88,7 +112,73 @@ class Cluster:
         return REMOTE
 
     def transfer_time(self, nbytes: int, from_node: str, to_node: str) -> float:
-        return self.spec.transfer_time(nbytes, self.locality(from_node, to_node))
+        seconds = self.spec.transfer_time(
+            nbytes, self.locality(from_node, to_node)
+        )
+        link = self.link_state(from_node, to_node)
+        if link is not None and 0 < link.bandwidth_factor < 1.0:
+            seconds /= link.bandwidth_factor
+        return seconds
+
+    # -- network health ----------------------------------------------------
+    def degrade_link(
+        self,
+        rack_a: str,
+        rack_b: str,
+        bandwidth_factor: float = 1.0,
+        loss_rate: float = 0.0,
+        partitioned: bool = False,
+    ) -> None:
+        """Degrade the path between two racks (flaky or partitioned)."""
+        for rack in (rack_a, rack_b):
+            if rack not in self.racks():
+                raise ValueError(f"unknown rack {rack!r}")
+        if rack_a == rack_b:
+            raise ValueError("link endpoints must be distinct racks")
+        if not 0 < bandwidth_factor <= 1.0:
+            raise ValueError("bandwidth_factor must be in (0, 1]")
+        if not 0 <= loss_rate <= 1.0:
+            raise ValueError("loss_rate must be in [0, 1]")
+        self._links[frozenset((rack_a, rack_b))] = LinkState(
+            bandwidth_factor, loss_rate, partitioned
+        )
+
+    def restore_link(self, rack_a: str, rack_b: str) -> None:
+        self._links.pop(frozenset((rack_a, rack_b)), None)
+
+    def link_state(self, from_node: str, to_node: str) -> Optional[LinkState]:
+        rack_a = self.nodes[from_node].rack
+        rack_b = self.nodes[to_node].rack
+        if rack_a == rack_b:
+            return None
+        return self._links.get(frozenset((rack_a, rack_b)))
+
+    def link_partitioned(self, from_node: str, to_node: str) -> bool:
+        """True when no traffic can flow between the two nodes."""
+        if from_node == to_node:
+            return False
+        if self.nodes[from_node].isolated or self.nodes[to_node].isolated:
+            return True
+        link = self.link_state(from_node, to_node)
+        return link.partitioned if link is not None else False
+
+    def link_loss_rate(self, from_node: str, to_node: str) -> float:
+        if from_node == to_node:
+            return 0.0
+        link = self.link_state(from_node, to_node)
+        return link.loss_rate if link is not None else 0.0
+
+    def isolate_rack(self, rack: str) -> None:
+        """Rack outage: every node keeps running but is unreachable."""
+        nodes = self.nodes_in_rack(rack)
+        if not nodes:
+            raise ValueError(f"unknown rack {rack!r}")
+        for node in nodes:
+            node.isolated = True
+
+    def restore_rack(self, rack: str) -> None:
+        for node in self.nodes_in_rack(rack):
+            node.isolated = False
 
     # -- placement helpers ------------------------------------------------
     def sample_nodes(self, count: int, exclude: Iterable[str] = ()) -> list[Node]:
@@ -106,19 +196,28 @@ class Cluster:
             raise RuntimeError("no live nodes available for placement")
         count = min(count, len(live))
         chosen: list[Node] = []
+        chosen_ids: set[str] = set()  # O(1) membership on large clusters
+
+        def take(node: Node) -> None:
+            chosen.append(node)
+            chosen_ids.add(node.node_id)
+
         if preferred and preferred in self.nodes and self.nodes[preferred].alive:
-            chosen.append(self.nodes[preferred])
+            take(self.nodes[preferred])
         else:
-            chosen.append(self.rng.choice(live))
+            take(self.rng.choice(live))
         if count > 1:
-            off_rack = [n for n in live if n.rack != chosen[0].rack and n not in chosen]
+            off_rack = [
+                n for n in live
+                if n.rack != chosen[0].rack and n.node_id not in chosen_ids
+            ]
             if off_rack:
-                chosen.append(self.rng.choice(off_rack))
+                take(self.rng.choice(off_rack))
         while len(chosen) < count:
-            remaining = [n for n in live if n not in chosen]
+            remaining = [n for n in live if n.node_id not in chosen_ids]
             if not remaining:
                 break
-            chosen.append(self.rng.choice(remaining))
+            take(self.rng.choice(remaining))
         return chosen
 
     # -- failure injection --------------------------------------------------

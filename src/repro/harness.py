@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .chaos import ChaosController, FaultPlan
 from .cluster import Cluster, ClusterSpec
 from .hdfs import Hdfs
 from .shuffle import ShuffleServices
@@ -51,6 +52,17 @@ class SimCluster:
             self.env, self.rm, self.hdfs, self.shuffle,
             name=name, queue=queue, config=config, session=session,
             **kwargs,
+        )
+
+    def chaos(self, plan: FaultPlan, client=None) -> ChaosController:
+        """Start executing a fault plan against this simulation.
+
+        Pass the :class:`TezClient` driving the workload so chaos
+        counters are mirrored into its AM's metrics and the AM's own
+        node is spared from random victim selection."""
+        return ChaosController(
+            self.env, self.cluster, self.rm, self.shuffle, plan,
+            client=client,
         )
 
     def run(self, until=None):

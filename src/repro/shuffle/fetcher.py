@@ -59,28 +59,57 @@ class Fetcher:
         self.fetch_count = 0
         self.retries = 0
 
+    def _backoff(self, attempts: int) -> float:
+        """Exponential backoff with seeded jitter, capped per retry."""
+        base = self.spec.shuffle_retry_backoff * (2 ** (attempts - 1))
+        capped = min(base, self.spec.shuffle_retry_backoff_cap)
+        return capped * (0.5 + self.rng.random())   # jitter in [0.5, 1.5)
+
     def fetch(self, ref: SpillRef) -> Generator:
         """Process: fetch one partition; returns the records.
 
-        Charges connection latency + locality-dependent transfer time;
-        injects transient errors at the configured rate and retries
-        with back-off; raises :class:`FetchFailure` when the data is
-        gone or retries are exhausted.
+        Charges connection latency + locality-dependent transfer time.
+        Transient errors (the configured blip rate plus any flaky-link
+        loss rate) are retried with exponential backoff and seeded
+        jitter. A partitioned network link makes the connection hang
+        for ``shuffle_fetch_timeout`` per attempt; once retries or the
+        total retry-time budget (``shuffle_retry_total_timeout``) are
+        exhausted the fetch escalates to :class:`FetchFailure`, as does
+        a spill whose data is gone.
         """
         attempts = 0
+        deadline = self.env.now + self.spec.shuffle_retry_total_timeout
         while True:
             attempts += 1
             yield self.env.timeout(self.spec.shuffle_connection_latency)
-            # Transient error injection (network blips).
+            # A partitioned link: the connection hangs, then times out.
+            if self.cluster.link_partitioned(ref.node_id, self.reader_node):
+                yield self.env.timeout(self.spec.shuffle_fetch_timeout)
+                self.retries += 1
+                if (
+                    attempts > self.spec.shuffle_max_retries
+                    or self.env.now >= deadline
+                ):
+                    raise FetchFailure(
+                        ref,
+                        f"fetch timed out after {attempts} attempts "
+                        f"(network partition)",
+                    )
+                yield self.env.timeout(self._backoff(attempts))
+                continue
+            # Transient error injection (network blips / flaky links).
+            error_rate = (
+                self.spec.shuffle_transient_error_rate
+                + self.cluster.link_loss_rate(ref.node_id, self.reader_node)
+            )
             if (
-                self.spec.shuffle_transient_error_rate > 0
-                and self.rng.random() < self.spec.shuffle_transient_error_rate
+                error_rate > 0
+                and self.rng.random() < error_rate
                 and attempts <= self.spec.shuffle_max_retries
+                and self.env.now < deadline
             ):
                 self.retries += 1
-                yield self.env.timeout(
-                    self.spec.shuffle_retry_backoff * attempts
-                )
+                yield self.env.timeout(self._backoff(attempts))
                 continue
             service = self.services.on_node(ref.node_id)
             try:

@@ -123,6 +123,10 @@ class ShuffleService:
     def drop_spill(self, spill_id: str) -> None:
         self._spills.pop(spill_id, None)
 
+    def spill_ids(self) -> list[str]:
+        """Registered spill ids, sorted (fault injection + testing)."""
+        return sorted(self._spills)
+
     def spill_count(self, app_id: Optional[str] = None) -> int:
         if app_id is None:
             return len(self._spills)

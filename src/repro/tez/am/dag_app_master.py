@@ -206,6 +206,12 @@ class DAGAppMaster:
             self._attempt_exit,
         )
         ctx.on_node_loss(self._on_node_loss)
+        # Node blacklisting (paper 4.3): per-node failure accounting
+        # survives across DAGs in a session — a flaky machine stays
+        # flaky between DAG submissions.
+        self._node_failures: dict[str, int] = {}
+        self.blacklisted_nodes: set[str] = set()
+        self.blacklisting_disabled = False
         self._vertices: dict[str, VertexRuntime] = {}
         self._dag: Optional[DAG] = None
         self._dag_seq = itertools.count(1)
@@ -226,6 +232,11 @@ class DAGAppMaster:
             "speculative_wins": 0,
             "reexecutions": 0,
             "preemptions": 0,
+            # Resilience / chaos accounting.
+            "nodes_lost": 0,
+            "nodes_blacklisted": 0,
+            "lost_node_reexecutions": 0,
+            "faults_injected": 0,
         }
 
     # ================================================== DAG lifecycle
@@ -768,9 +779,26 @@ class DAGAppMaster:
             # The machine died under the task: environment fault, not
             # an application error — retried without burning a failure.
             attempt.end_reason = AttemptEndReason.CONTAINER_LOST
+            self._record_node_failure(self._attempt_node_id(attempt))
+            self._attempt_killed(attempt)
+        elif attempt.end_reason in (AttemptEndReason.CONTAINER_LOST,
+                                    AttemptEndReason.PREEMPTED):
+            # The container was taken away externally (RM killed it on
+            # a LOST node or preempted it): killed, not failed. Losing
+            # a container still marks the machine as suspect.
+            if attempt.end_reason == AttemptEndReason.CONTAINER_LOST:
+                self._record_node_failure(self._attempt_node_id(attempt))
             self._attempt_killed(attempt)
         else:
             self._attempt_failed(attempt, error)
+
+    @staticmethod
+    def _attempt_node_id(attempt: TaskAttempt) -> Optional[str]:
+        if attempt.node_id:
+            return attempt.node_id
+        if attempt.container is not None:
+            return attempt.container.node_id
+        return None
 
     def _attempt_succeeded(self, attempt: TaskAttempt) -> None:
         task = attempt.task
@@ -837,6 +865,7 @@ class DAGAppMaster:
         attempt.end_reason = AttemptEndReason.APP_ERROR
         attempt.diagnostics = f"{type(error).__name__}: {error}"
         self.metrics["attempts_failed"] += 1
+        self._record_node_failure(self._attempt_node_id(attempt))
         task = attempt.task
         if task.state == TaskState.SUCCEEDED:
             return
@@ -996,9 +1025,39 @@ class DAGAppMaster:
             vr.state = VertexState.RUNNING
         self._launch_attempt(task)
 
+    def _record_node_failure(self, node_id: Optional[str]) -> None:
+        """Count a task failure / lost container against its node; past
+        the threshold the node is blacklisted (paper 4.3). When too much
+        of the cluster ends up blacklisted the failures are probably the
+        job's fault, not the machines' — the failsafe disables
+        blacklisting entirely."""
+        if (
+            node_id is None
+            or not self.config.node_blacklisting_enabled
+            or self.blacklisting_disabled
+            or node_id in self.blacklisted_nodes
+        ):
+            return
+        self._node_failures[node_id] = self._node_failures.get(node_id, 0) + 1
+        if self._node_failures[node_id] < self.config.node_max_task_failures:
+            return
+        self.blacklisted_nodes.add(node_id)
+        self.metrics["nodes_blacklisted"] += 1
+        self.scheduler.blacklist_node(node_id)
+        limit = (
+            self.config.blacklist_disable_fraction
+            * len(self.services.cluster.nodes)
+        )
+        if len(self.blacklisted_nodes) > limit:
+            self.blacklisting_disabled = True
+            self.blacklisted_nodes.clear()
+            self._node_failures.clear()
+            self.scheduler.clear_blacklist()
+
     def _on_node_loss(self, node: Node) -> None:
         """Proactively re-execute completed tasks whose (non-reliable)
         outputs lived on a lost node and are still needed."""
+        self.metrics["nodes_lost"] += 1
         if self._dag_state != DAGState.RUNNING:
             return
         for vr in self._vertices.values():
@@ -1020,6 +1079,7 @@ class DAGAppMaster:
                     and task.succeeded_attempt is not None
                     and task.succeeded_attempt.node_id == node.node_id
                 ):
+                    self.metrics["lost_node_reexecutions"] += 1
                     self._reexecute_task(
                         task, AttemptEndReason.CONTAINER_LOST
                     )

@@ -13,7 +13,14 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, Optional
 
 from ...sim import Environment, Interrupt, Store
-from ...yarn import AMContext, Container, Priority, Resource
+from ...yarn import (
+    AMContext,
+    Container,
+    ContainerExitStatus,
+    ContainerState,
+    Priority,
+    Resource,
+)
 from ..config import TezConfig
 from .structures import AttemptEndReason, TaskAttempt
 
@@ -76,6 +83,7 @@ class TaskSchedulerService:
         self._on_attempt_exit = on_attempt_exit
         self.pending: list[TaskRequest] = []
         self.slots: dict[Any, _Slot] = {}   # ContainerId -> _Slot
+        self.blacklisted: set[str] = set()  # nodes the AM avoids
         self._stopped = False
         self.session_waiting = False  # between DAGs: longer idle timeout
         # metrics
@@ -94,6 +102,12 @@ class TaskSchedulerService:
     def schedule(self, request: TaskRequest) -> None:
         """Queue an attempt for execution."""
         request.queued_at = self.env.now
+        if self.blacklisted and request.nodes:
+            # Locality preferences pointing at blacklisted nodes would
+            # make YARN place us right back on the flaky machine.
+            request.nodes = tuple(
+                n for n in request.nodes if n not in self.blacklisted
+            )
         slot = self._find_reusable_slot(request)
         if slot is not None:
             self.reuse_hits += 1
@@ -152,6 +166,23 @@ class TaskSchedulerService:
             if slot.current is None:
                 self.release_slot(slot)
 
+    # ------------------------------------------------------- node blacklist
+    def blacklist_node(self, node_id: str) -> None:
+        """Stop placing work on a node: tell YARN, drop idle slots."""
+        if node_id in self.blacklisted:
+            return
+        self.blacklisted.add(node_id)
+        self.ctx.update_blacklist(additions=[node_id])
+        for slot in list(self.slots.values()):
+            if slot.container.node_id == node_id and slot.current is None:
+                self.release_slot(slot)
+
+    def clear_blacklist(self) -> None:
+        """Failsafe path: forget every blacklisted node."""
+        if self.blacklisted:
+            self.ctx.update_blacklist(removals=sorted(self.blacklisted))
+        self.blacklisted.clear()
+
     def shutdown(self) -> None:
         self._stopped = True
         for slot in list(self.slots.values()):
@@ -202,9 +233,12 @@ class TaskSchedulerService:
                 continue
             attempt = slot.current
             if attempt is not None and not getattr(attempt, "killing", False):
-                attempt.end_reason = (
-                    attempt.end_reason or AttemptEndReason.CONTAINER_LOST
+                externally_ended = (
+                    AttemptEndReason.PREEMPTED
+                    if status.exit_status == ContainerExitStatus.PREEMPTED
+                    else AttemptEndReason.CONTAINER_LOST
                 )
+                attempt.end_reason = attempt.end_reason or externally_ended
                 self._on_attempt_exit(
                     attempt,
                     RuntimeError(
@@ -214,6 +248,14 @@ class TaskSchedulerService:
 
     def _on_new_container(self, container: Container) -> None:
         if self._stopped:
+            self.ctx.release_container(container.container_id)
+            return
+        if (
+            container.state == ContainerState.COMPLETE
+            or not container.node.alive
+        ):
+            # Died in the allocation-delivery window (node crashed
+            # between the RM grant and the AM heartbeat receiving it).
             self.ctx.release_container(container.container_id)
             return
         mailbox = Store(self.env)
@@ -239,6 +281,7 @@ class TaskSchedulerService:
             s for s in self.slots.values()
             if s.current is None and not s.releasing
             and s.container.node.alive
+            and s.container.node_id not in self.blacklisted
             and request.capability.fits_in(s.container.resource)
         ]
         if not idle:
@@ -291,7 +334,10 @@ class TaskSchedulerService:
             # queueing more tasks behind it invites priority-inversion
             # deadlocks.
             return
-        if not slot.container.node.alive:
+        if (
+            not slot.container.node.alive
+            or slot.container.node_id in self.blacklisted
+        ):
             self.release_slot(slot)
             return
         request = None

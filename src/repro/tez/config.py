@@ -14,6 +14,16 @@ class TezConfig:
     count_killed_as_failure: bool = False
     task_retry_delay: float = 1.0   # back-off before retrying a failure
 
+    # -- node blacklisting (paper 4.3) ----------------------------------------
+    # A node accumulating this many task failures (app errors or lost
+    # containers) is blacklisted: the AM stops placing work there. The
+    # failsafe disables blacklisting when more than the given fraction
+    # of the cluster is blacklisted — at that point the failures are
+    # probably the job's fault, not the machines'.
+    node_blacklisting_enabled: bool = True
+    node_max_task_failures: int = 3
+    blacklist_disable_fraction: float = 0.33
+
     # -- container reuse / sessions (paper 4.2) ------------------------------
     container_reuse: bool = True
     reuse_rack_fallback: bool = True
@@ -39,3 +49,9 @@ class TezConfig:
             raise ValueError("max_task_attempts must be >= 1")
         if self.speculation_slowdown_factor <= 1.0:
             raise ValueError("speculation_slowdown_factor must exceed 1.0")
+        if self.node_max_task_failures < 1:
+            raise ValueError("node_max_task_failures must be >= 1")
+        if not 0 < self.blacklist_disable_fraction <= 1.0:
+            raise ValueError(
+                "blacklist_disable_fraction must be in (0, 1]"
+            )

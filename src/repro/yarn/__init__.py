@@ -10,6 +10,7 @@ from .records import (
     ContainerState,
     ContainerStatus,
     FinalApplicationStatus,
+    NodeState,
     Priority,
     Resource,
     ResourceRequest,
@@ -32,6 +33,7 @@ __all__ = [
     "ContainerStatus",
     "FinalApplicationStatus",
     "NodeManager",
+    "NodeState",
     "Priority",
     "QueueConfig",
     "Resource",

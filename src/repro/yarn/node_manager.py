@@ -32,15 +32,35 @@ class NodeManager:
         node: Node,
         security: SecurityManager,
         on_complete: Callable[[ContainerStatus, Container], None],
+        on_heartbeat: Optional[Callable[[str], None]] = None,
+        heartbeat_interval: float = 0.5,
     ):
         self.env = env
         self.node = node
         self.security = security
         self._on_complete = on_complete
+        self._on_heartbeat = on_heartbeat
+        self._heartbeat_interval = heartbeat_interval
         self.total = Resource(node.memory_mb, node.cores)
         self.used = Resource(0, 0)
         self.containers: dict[ContainerId, Container] = {}
         node.on_crash(self._handle_node_crash)
+        if on_heartbeat is not None:
+            env.process(self._heartbeat_loop(),
+                        name=f"nm-heartbeat:{node.node_id}")
+
+    def _heartbeat_loop(self) -> Generator:
+        """Report liveness to the RM while the node is up and reachable.
+
+        A dead node sends nothing (the process literally died with the
+        machine); an isolated node sends nothing because the network
+        path to the RM is gone. Heartbeats resume automatically on
+        restart / partition heal, which un-LOSTs the node at the RM.
+        """
+        while True:
+            if self.node.alive and not self.node.isolated:
+                self._on_heartbeat(self.node.node_id)
+            yield self.env.timeout(self._heartbeat_interval)
 
     @property
     def available(self) -> Resource:

@@ -14,6 +14,7 @@ __all__ = [
     "ContainerId",
     "ContainerState",
     "ContainerExitStatus",
+    "NodeState",
     "ContainerStatus",
     "ResourceRequest",
     "FinalApplicationStatus",
@@ -90,6 +91,13 @@ class ContainerState(Enum):
     NEW = "NEW"
     RUNNING = "RUNNING"
     COMPLETE = "COMPLETE"
+
+
+class NodeState(Enum):
+    """RM-side view of a node's health (driven by NM heartbeats)."""
+
+    RUNNING = "RUNNING"
+    LOST = "LOST"           # heartbeats stopped past the liveness timeout
 
 
 class ContainerExitStatus:

@@ -24,6 +24,7 @@ from .records import (
     ContainerState,
     ContainerStatus,
     FinalApplicationStatus,
+    NodeState,
     Priority,
     Resource,
 )
@@ -161,11 +162,22 @@ class AMContext:
     def on_node_loss(self, callback: Callable[[Node], None]) -> None:
         self._node_loss_callbacks.append(callback)
 
+    def update_blacklist(self, additions: list[str] = (),
+                         removals: list[str] = ()) -> None:
+        """Node blacklist for this application (YARN allocate API):
+        the scheduler will not place this app's containers on
+        blacklisted nodes."""
+        self._check_registered()
+        for node_id in additions:
+            self.app.blacklist.add(node_id)
+        for node_id in removals:
+            self.app.blacklist.discard(node_id)
+
     def headroom(self) -> Resource:
-        """Free capacity currently available on live nodes."""
+        """Free capacity currently available on schedulable nodes."""
         free = Resource(0, 0)
-        for nm in self.rm.node_managers.values():
-            if nm.node.alive:
+        for node_id, nm in self.rm.node_managers.items():
+            if self.rm.node_schedulable(node_id):
                 free = free + nm.available
         return free
 
@@ -186,10 +198,24 @@ class ResourceManager:
         self.spec = cluster.spec
         self.security = SecurityManager(enabled=secure)
         self.node_managers: dict[str, NodeManager] = {
-            node_id: NodeManager(env, node, self.security,
-                                 self._container_completed)
+            node_id: NodeManager(
+                env, node, self.security, self._container_completed,
+                on_heartbeat=self.node_heartbeat,
+                heartbeat_interval=self.spec.heartbeat_interval,
+            )
             for node_id, node in cluster.nodes.items()
         }
+        # Liveness tracking: nodes go LOST when heartbeats stop past the
+        # liveness timeout (silent failures / partitions) or immediately
+        # on a crash (the NM connection drops with the machine).
+        self.node_states: dict[str, NodeState] = {
+            node_id: NodeState.RUNNING for node_id in cluster.nodes
+        }
+        self._last_heartbeat: dict[str, float] = {
+            node_id: env.now for node_id in cluster.nodes
+        }
+        self.nodes_lost_total = 0
+        self.nodes_recovered_total = 0
         self.scheduler = CapacityScheduler(
             env, cluster, self.node_managers, queues,
             node_locality_delay=node_locality_delay,
@@ -203,14 +229,16 @@ class ResourceManager:
         self._max_attempts: dict[ApplicationId, int] = {}
         self._am_resources: dict[ApplicationId, Resource] = {}
         self._am_container_ids: dict[ApplicationId, ContainerId] = {}
+        self.scheduler.node_filter = self.node_schedulable
         for node in cluster.nodes.values():
-            node.on_crash(self._node_lost)
+            node.on_crash(self._on_node_crash)
         self._running = True
         env.process(self._tick_loop(), name="rm-scheduler-tick")
 
     # -- scheduler pump ---------------------------------------------------
     def _tick_loop(self) -> Generator:
         while self._running:
+            self._check_node_liveness()
             self.scheduler.tick()
             yield self.env.timeout(self.spec.heartbeat_interval)
 
@@ -333,10 +361,48 @@ class ResourceManager:
             self.scheduler.remove_app(app_id)
             handle.completion.succeed(handle.final_status)
 
-    def _node_lost(self, node: Node) -> None:
+    # -- node liveness ------------------------------------------------------
+    def node_heartbeat(self, node_id: str) -> None:
+        """An NM heartbeat arrived; revive a LOST node if needed."""
+        self._last_heartbeat[node_id] = self.env.now
+        if (
+            self.node_states.get(node_id) == NodeState.LOST
+            and self.cluster.nodes[node_id].alive
+        ):
+            self.node_states[node_id] = NodeState.RUNNING
+            self.nodes_recovered_total += 1
+
+    def _check_node_liveness(self) -> None:
+        timeout = self.spec.node_liveness_timeout
+        now = self.env.now
+        for node_id, state in self.node_states.items():
+            if (
+                state == NodeState.RUNNING
+                and now - self._last_heartbeat[node_id] > timeout
+            ):
+                self._mark_node_lost(node_id)
+
+    def _on_node_crash(self, node: Node) -> None:
+        # A hard crash drops the NM connection instantly; a partition
+        # is only ever detected via the heartbeat timeout.
+        if self.node_states.get(node.node_id) == NodeState.RUNNING:
+            self._mark_node_lost(node.node_id)
+
+    def _mark_node_lost(self, node_id: str) -> None:
+        """Declare a node LOST: kill its containers, tell every AM."""
+        self.node_states[node_id] = NodeState.LOST
+        self.nodes_lost_total += 1
+        nm = self.node_managers[node_id]
+        for cid in list(nm.containers):
+            nm.stop_container(cid, ContainerExitStatus.NODE_LOST)
+        node = self.cluster.nodes[node_id]
         for ctx in list(self._contexts.values()):
             for callback in ctx._node_loss_callbacks:
                 callback(node)
+
+    def node_schedulable(self, node_id: str) -> bool:
+        node = self.cluster.nodes[node_id]
+        return node.alive and self.node_states.get(node_id) != NodeState.LOST
 
     # -- metrics -------------------------------------------------------------------
     def cluster_utilization(self) -> float:

@@ -85,6 +85,7 @@ class SchedulerApp:
         self.queue = queue
         self.user = user
         self.asks: dict[Priority, _AskTable] = {}
+        self.blacklist: set[str] = set()   # node ids this app refuses
         self.live_containers: dict[ContainerId, Container] = {}
         self.missed_opportunities = 0
         self._container_seq = itertools.count(1)
@@ -181,6 +182,9 @@ class CapacityScheduler:
             rack_locality_delay if rack_locality_delay is not None else 2 * n
         )
         self.preemption_enabled = preemption_enabled
+        # Extra schedulability predicate (the RM plugs in its liveness
+        # view so LOST-but-running nodes receive no new containers).
+        self.node_filter: Optional[Callable[[str], bool]] = None
         self._tick_offset = 0
         self.allocation_log: list[tuple[float, str, str, str]] = []
 
@@ -225,7 +229,9 @@ class CapacityScheduler:
         """One scheduling pass over all nodes; returns new allocations."""
         allocations: list[Container] = []
         node_ids = sorted(
-            nid for nid, nm in self.node_managers.items() if nm.node.alive
+            nid for nid, nm in self.node_managers.items()
+            if nm.node.alive
+            and (self.node_filter is None or self.node_filter(nid))
         )
         if not node_ids:
             return allocations
@@ -262,6 +268,8 @@ class CapacityScheduler:
     def _try_assign(
         self, app: SchedulerApp, nm: NodeManager, node_id: str, rack: str
     ) -> Optional[Container]:
+        if node_id in app.blacklist:
+            return None
         had_local_ask = False
         for priority in sorted(app.asks):
             table = app.asks[priority]

@@ -72,6 +72,48 @@ def test_seed_changes_timing_not_results():
     assert rows1 == rows2        # correctness is seed-independent
 
 
+def test_chaos_fault_plan_deterministic():
+    """The same DAG under the same FaultPlan seed reproduces exactly:
+    completion time, AM metrics, output rows and the injection log."""
+    from repro import FaultPlan
+
+    def run():
+        sim = make_sim(num_nodes=6, nodes_per_rack=3)
+        sim.hdfs.write("/in", [(i % 9, i) for i in range(2_000)],
+                       record_bytes=32)
+        m = fn_vertex("m", lambda c, d: {"r": list(d["src"])}, -1,
+                      cpu_per_record=2e-3)
+        hdfs_source(m, "src", ["/in"])
+        r = fn_vertex("r", lambda c, d: {"out": [
+            (k, sum(vs)) for k, vs in d["m"]
+        ]}, 3, setup_seconds=4.0)
+        hdfs_sink(r, "out", "/out")
+        dag = DAG("chaosdet").add_vertex(m).add_vertex(r)
+        dag.add_edge(edge(m, r, SG))
+
+        plan = (FaultPlan(seed=23)
+                .crash_node(at=4.0, restart_after=6.0)
+                .slow_node(at=5.0, speed=0.5, duration=5.0)
+                .drop_shuffle_output(at=3.0, pattern="/m/", count=1))
+        client = sim.tez_client(session=True)
+        client.start()
+        controller = sim.chaos(plan, client=client)
+        handle = client.submit_dag(dag)
+        sim.env.run(until=handle.completion)
+        status = handle.status
+        assert status.succeeded, status.diagnostics
+        metrics = dict(client.last_am.metrics)
+        client.stop()
+        return (status.elapsed, metrics,
+                tuple(sorted(sim.hdfs.read_file("/out"))),
+                tuple(controller.injected))
+
+    a = run()
+    b = run()
+    assert a == b
+    assert a[3], "plan injected nothing — scenario under-tuned"
+
+
 def test_hive_query_deterministic_end_to_end():
     def run():
         sim = make_sim()
