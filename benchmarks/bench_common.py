@@ -3,11 +3,48 @@
 Scale knobs: the paper ran 20-4200 node clusters on terabytes; we run
 the same *workload shapes* on a simulated cluster at laptop scale. Set
 ``REPRO_BENCH_SCALE=2`` (etc.) to grow the datasets.
+
+Tracing: pass ``--trace-out PATH`` (or set ``REPRO_TRACE_OUT=PATH``)
+to any figure script to dump the run's execution timeline — Chrome
+trace-event JSON (open in chrome://tracing or Perfetto) by default, or
+lossless JSONL when PATH ends in ``.jsonl``.
 """
 
 import os
+import sys
 
 SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+def trace_out_path():
+    """PATH from ``--trace-out PATH`` / ``--trace-out=PATH`` on the
+    command line, else the ``REPRO_TRACE_OUT`` env var, else None."""
+    argv = sys.argv
+    for i, arg in enumerate(argv):
+        if arg == "--trace-out" and i + 1 < len(argv):
+            return argv[i + 1]
+        if arg.startswith("--trace-out="):
+            return arg.split("=", 1)[1]
+    return os.environ.get("REPRO_TRACE_OUT") or None
+
+
+def finish_bench(sim, table=None, label="bench"):
+    """Shared benchmark epilogue: attach a telemetry digest to the
+    table and honour --trace-out by exporting the timeline."""
+    from repro.bench import telemetry_notes
+    from repro.telemetry import write_chrome_trace, write_jsonl
+
+    if table is not None:
+        for note in telemetry_notes(sim):
+            table.note(note)
+    path = trace_out_path()
+    if path:
+        store = sim.telemetry.store
+        if path.endswith(".jsonl"):
+            count = write_jsonl(store, path)
+        else:
+            count = write_chrome_trace(store, path)
+        print(f"[{label}] wrote {count} trace records to {path}")
 
 
 def rows_equal(a, b):

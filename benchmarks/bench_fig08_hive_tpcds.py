@@ -19,7 +19,7 @@ from repro.bench import BenchTable, speedup
 from repro.engines.hive import Catalog, HiveSession
 from repro.workloads import TPCDS_QUERIES, generate_tpcds, register_tpcds
 
-from bench_common import PAPER_NOTES, SCALE, rows_equal
+from bench_common import PAPER_NOTES, SCALE, finish_bench, rows_equal
 
 
 def build_session():
@@ -53,6 +53,7 @@ def run_workload():
         f"geo-mean speedup {_geomean(speedups):.2f}x"
     )
     session.close()
+    finish_bench(session.sim, table, label="fig08")
     table.show()
     return speedups
 

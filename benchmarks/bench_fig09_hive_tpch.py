@@ -19,7 +19,7 @@ from repro.bench import BenchTable, speedup
 from repro.engines.hive import Catalog, HiveSession
 from repro.workloads import TPCH_QUERIES, generate_tpch, register_tpch
 
-from bench_common import PAPER_NOTES, SCALE, rows_equal
+from bench_common import PAPER_NOTES, SCALE, finish_bench, rows_equal
 
 
 def run_workload():
@@ -49,6 +49,7 @@ def run_workload():
         f"{_geomean(speedups):.2f}x at 350 simulated nodes"
     )
     session.close()
+    finish_bench(sim, table, label="fig09")
     table.show()
     return speedups
 

@@ -22,7 +22,7 @@ from repro.engines.pig import PigRunner
 from repro.workloads import ETL_SCRIPTS, build_script, load_etl_data
 from repro.yarn import FinalApplicationStatus, Priority, Resource
 
-from bench_common import PAPER_NOTES, SCALE, rows_equal
+from bench_common import PAPER_NOTES, SCALE, finish_bench, rows_equal
 
 
 def occupy_cluster(sim, fraction=0.6):
@@ -79,6 +79,7 @@ def run_workload():
         "measured: speedups "
         + ", ".join(f"{k}={v:.2f}x" for k, v in sorted(speedups.items()))
     )
+    finish_bench(sim, table, label="fig10")
     table.show()
     return list(speedups.values())
 

@@ -24,7 +24,7 @@ from repro.workloads import (
     kmeans_iteration_script,
 )
 
-from bench_common import PAPER_NOTES
+from bench_common import PAPER_NOTES, finish_bench
 
 K = 4
 ITERATION_COUNTS = [10, 50, 100]
@@ -48,6 +48,7 @@ def run_kmeans(backend: str, iterations: int) -> float:
         )
     elapsed = sim.env.now - start
     runner.close()
+    finish_bench(sim, label=f"fig11-{backend}-{iterations}it")
     return elapsed
 
 

@@ -21,7 +21,7 @@ from repro.bench import BenchTable, capacity_trace
 from repro.engines.spark import SparkContext
 from repro.workloads import generate_tpch
 
-from bench_common import PAPER_NOTES, SCALE
+from bench_common import PAPER_NOTES, SCALE, finish_bench
 
 USERS = 5
 
@@ -75,6 +75,7 @@ def run_trace(backend: str):
     for sc in contexts:
         sc.stop()
     sim.env.run(until=sim.env.now + 30)
+    finish_bench(sim, label=f"fig12-{backend}")
     return {
         "finish": sorted(finish.values()),
         "makespan": all_done,

@@ -21,7 +21,7 @@ from repro.bench import BenchTable, speedup
 from repro.engines.spark import SparkContext
 from repro.workloads import generate_tpch
 
-from bench_common import PAPER_NOTES
+from bench_common import PAPER_NOTES, finish_bench
 
 USERS = 5
 # (label, tpch rows scale, nominal bytes per row)
@@ -70,6 +70,7 @@ def run_matrix(backend: str, rows_scale: int, row_bytes: int):
     for sc in contexts:
         sc.stop()
     sim.env.run(until=sim.env.now + 30)
+    finish_bench(sim, label=f"fig13-{backend}-x{rows_scale}")
     values = sorted(latencies.values())
     return sum(values) / len(values), values[-1]
 

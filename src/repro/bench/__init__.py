@@ -1,5 +1,5 @@
 """Benchmark harness shared by benchmarks/bench_*.py."""
 
-from .harness import BenchTable, capacity_trace, speedup
+from .harness import BenchTable, capacity_trace, speedup, telemetry_notes
 
-__all__ = ["BenchTable", "capacity_trace", "speedup"]
+__all__ = ["BenchTable", "capacity_trace", "speedup", "telemetry_notes"]

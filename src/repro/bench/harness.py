@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional
 
-__all__ = ["BenchTable", "speedup", "capacity_trace"]
+__all__ = ["BenchTable", "speedup", "capacity_trace", "telemetry_notes"]
 
 
 @dataclass
@@ -85,3 +85,27 @@ def capacity_trace(sim, interval: float = 2.0,
 
     sim.env.process(sampler(), name="capacity-trace")
     return samples
+
+
+def telemetry_notes(sim, max_dags: int = 3) -> list[str]:
+    """Digest of a SimCluster's telemetry timeline for table notes:
+    one aggregate line, then the slowest ``max_dags`` DAG one-liners."""
+    from ..telemetry import summarize_session
+
+    store = sim.telemetry.store
+    summaries = summarize_session(store, with_critical_path=False)
+    if not summaries:
+        return []
+    notes = [
+        f"telemetry: {len(summaries)} DAGs, "
+        f"{sum(s.attempts for s in summaries)} attempts "
+        f"({sum(s.failed for s in summaries)} failed, "
+        f"{sum(s.killed for s in summaries)} killed), "
+        f"{sum(s.speculations for s in summaries)} speculations, "
+        f"{sum(s.reexecutions for s in summaries)} re-executions, "
+        f"{sum(s.fetch_retries for s in summaries)} fetch retries"
+    ]
+    slowest = sorted(summaries, key=lambda s: s.wall_clock,
+                     reverse=True)[:max_dags]
+    notes.extend(f"slowest: {s.line()}" for s in slowest)
+    return notes

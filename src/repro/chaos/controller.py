@@ -17,6 +17,7 @@ from typing import Generator, Optional
 from ..cluster import Cluster
 from ..shuffle import ShuffleServices
 from ..sim import Environment
+from ..telemetry import get_telemetry
 from ..yarn import ContainerExitStatus, ResourceManager
 from .plan import Fault, FaultKind, FaultPlan
 
@@ -65,6 +66,12 @@ class ChaosController:
         am = getattr(self.client, "last_am", None)
         if am is not None:
             am.metrics["faults_injected"] += 1
+        telemetry = get_telemetry(self.env)
+        if telemetry is not None:
+            telemetry.event("chaos.fault", fault=fault.kind.value,
+                            detail=detail)
+            telemetry.metrics.counter(
+                f"chaos.{fault.kind.value}").inc()
 
     def _heal_later(self, delay: float, heal, name: str) -> None:
         def heal_process() -> Generator:

@@ -16,6 +16,7 @@ from .cluster import Cluster, ClusterSpec
 from .hdfs import Hdfs
 from .shuffle import ShuffleServices
 from .sim import Environment
+from .telemetry import Telemetry
 from .tez import TezClient, TezConfig
 from .yarn import QueueConfig, ResourceManager
 
@@ -37,6 +38,7 @@ class SimCluster:
             spec = spec.scaled(**spec_overrides)
         self.spec = spec
         self.env = Environment()
+        self.telemetry = Telemetry(self.env)
         self.cluster = Cluster(self.env, spec)
         self.rm = ResourceManager(
             self.env, self.cluster, queues=queues, secure=secure,
@@ -71,3 +73,8 @@ class SimCluster:
     @property
     def now(self) -> float:
         return self.env.now
+
+    @property
+    def timeline(self):
+        """Query surface over this simulation's telemetry timeline."""
+        return self.telemetry.store

@@ -14,6 +14,7 @@ from typing import Generator, Optional
 
 from ..cluster import Cluster, ClusterSpec
 from ..sim import Environment
+from ..telemetry import get_telemetry
 from ..yarn.security import Token
 from .service import ShuffleServices, SpillLost, SpillRef
 
@@ -46,6 +47,7 @@ class Fetcher:
         job_token: Optional[Token] = None,
         rng: Optional[random.Random] = None,
         spec: Optional[ClusterSpec] = None,
+        owner: str = "",
     ):
         self.env = env
         self.cluster = cluster
@@ -55,9 +57,16 @@ class Fetcher:
         self.job_token = job_token
         self.spec = spec or cluster.spec
         self.rng = rng or random.Random(cluster.spec.seed)
+        # Attempt id of the consumer task, for timeline attribution.
+        self.owner = owner
         self.bytes_fetched = 0
         self.fetch_count = 0
         self.retries = 0
+
+    @property
+    def _owner_dag(self) -> str:
+        # Attempt ids look like "dag#N/vertex/tI_aJ".
+        return self.owner.split("/", 1)[0] if "/" in self.owner else ""
 
     def _backoff(self, attempts: int) -> float:
         """Exponential backoff with seeded jitter, capped per retry."""
@@ -77,6 +86,41 @@ class Fetcher:
         exhausted the fetch escalates to :class:`FetchFailure`, as does
         a spill whose data is gone.
         """
+        telemetry = get_telemetry(self.env)
+        span = None
+        if telemetry is not None:
+            span = telemetry.span(
+                "fetch", f"{ref.spill_id}:p{ref.partition}",
+                node=self.reader_node, source=ref.node_id,
+                owner=self.owner, dag=self._owner_dag, nbytes=ref.nbytes,
+            )
+        try:
+            records = yield from self._fetch(ref, telemetry)
+        except FetchFailure as exc:
+            if telemetry is not None:
+                telemetry.event(
+                    "shuffle.fetch_failed", owner=self.owner,
+                    dag=self._owner_dag, source=ref.node_id,
+                    reason=exc.reason,
+                )
+                telemetry.metrics.counter("shuffle.fetch_failures").inc()
+                telemetry.finish(span, outcome="failed")
+            raise
+        if telemetry is not None:
+            telemetry.finish(span, outcome="ok")
+        return records
+
+    def _fetch(self, ref: SpillRef, telemetry=None) -> Generator:
+        def note_retry(reason: str, attempts: int) -> None:
+            self.retries += 1
+            if telemetry is not None:
+                telemetry.event(
+                    "shuffle.fetch_retry", owner=self.owner,
+                    dag=self._owner_dag, source=ref.node_id,
+                    reason=reason, attempt=attempts,
+                )
+                telemetry.metrics.counter("shuffle.retries").inc()
+
         attempts = 0
         deadline = self.env.now + self.spec.shuffle_retry_total_timeout
         while True:
@@ -85,7 +129,7 @@ class Fetcher:
             # A partitioned link: the connection hangs, then times out.
             if self.cluster.link_partitioned(ref.node_id, self.reader_node):
                 yield self.env.timeout(self.spec.shuffle_fetch_timeout)
-                self.retries += 1
+                note_retry("partition_timeout", attempts)
                 if (
                     attempts > self.spec.shuffle_max_retries
                     or self.env.now >= deadline
@@ -108,7 +152,7 @@ class Fetcher:
                 and attempts <= self.spec.shuffle_max_retries
                 and self.env.now < deadline
             ):
-                self.retries += 1
+                note_retry("transient_error", attempts)
                 yield self.env.timeout(self._backoff(attempts))
                 continue
             service = self.services.on_node(ref.node_id)

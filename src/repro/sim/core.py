@@ -154,6 +154,8 @@ class Process(Event):
         init._state = _TRIGGERED
         init.callbacks.append(self._resume)
         env._schedule(init)
+        for hook in env._process_hooks:
+            hook(self)
 
     @property
     def is_alive(self) -> bool:
@@ -291,6 +293,15 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active: Optional[Process] = None
+        # Observability: ambient telemetry handle (set by
+        # repro.telemetry.Telemetry.install) and process-creation hooks.
+        # Hooks observe scheduling only — they must not schedule events.
+        self.telemetry = None
+        self._process_hooks: list = []
+
+    def add_process_hook(self, hook) -> None:
+        """Register ``hook(process)`` called for every spawned Process."""
+        self._process_hooks.append(hook)
 
     @property
     def now(self) -> float:

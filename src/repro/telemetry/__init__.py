@@ -1,0 +1,74 @@
+"""Unified telemetry: the simulation's YARN-Timeline-Server analogue.
+
+The paper's evaluation (section 6) rests on being able to see *why* a
+DAG ran the way it did — container reuse chains, locality hit rates,
+shuffle stalls, re-execution cascades. Production Tez publishes this
+through the YARN Application Timeline Server; this package plays that
+role for the simulated stack:
+
+* :class:`EventLog` / :class:`TelemetryEvent` — append-only structured
+  record stream (timestamp, kind, attrs) emitted from ``sim.core``,
+  ``yarn``, ``tez.am``, ``shuffle`` and ``chaos``.
+* :class:`Tracer` / :class:`Span` — hierarchical spans
+  (session → DAG → vertex → task-attempt, plus container lifecycle and
+  shuffle-fetch spans).
+* :class:`MetricsRegistry` — typed counters/gauges/histograms replacing
+  the ad-hoc AM metric dicts (a :class:`MetricsView` keeps the old
+  ``DAGAppMaster.metrics`` dict interface working).
+* :class:`TimelineStore` — the query API (by DAG, kind, time range).
+* :mod:`~repro.telemetry.export` — Chrome trace-event JSON (loadable
+  in ``chrome://tracing`` / Perfetto) and JSONL exporters.
+* :mod:`~repro.telemetry.analysis` — critical-path extraction and
+  per-DAG summary reports.
+
+Everything is simulation-clock aware: timestamps are ``env.now``
+seconds, scaled to microseconds only at Chrome-trace export time.
+"""
+
+from .analysis import (
+    CriticalPathReport,
+    CriticalPathSegment,
+    DagSummary,
+    critical_path,
+    dag_summary,
+    summarize_session,
+)
+from .events import EventLog, TaskTraceEntry, TelemetryEvent
+from .export import (
+    chrome_trace,
+    read_jsonl,
+    validate_records,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .facade import Telemetry, get_telemetry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, MetricsView
+from .spans import Span, Tracer
+from .timeline import TimelineStore
+
+__all__ = [
+    "Counter",
+    "CriticalPathReport",
+    "CriticalPathSegment",
+    "DagSummary",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsView",
+    "Span",
+    "TaskTraceEntry",
+    "Telemetry",
+    "TelemetryEvent",
+    "TimelineStore",
+    "Tracer",
+    "chrome_trace",
+    "critical_path",
+    "dag_summary",
+    "get_telemetry",
+    "read_jsonl",
+    "summarize_session",
+    "validate_records",
+    "write_chrome_trace",
+    "write_jsonl",
+]

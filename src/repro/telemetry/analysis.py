@@ -1,0 +1,266 @@
+"""Timeline analysis: critical-path extraction and DAG summaries.
+
+The critical path answers "why did this DAG take this long?". It is
+computed purely from the telemetry timeline — no AM internals — by
+walking backwards from the attempt that finished last:
+
+1. For every task, take its *effective* completion: the
+   latest-finishing SUCCEEDED attempt (re-executions for lost output
+   count; speculative losers are KILLED and thus excluded).
+2. The predecessor of an attempt is the latest-finishing effective
+   producer attempt among its vertex's input edges (ONE_TO_ONE edges
+   constrain the partner index; scatter-gather and broadcast consider
+   all producer tasks).
+3. Boundaries between consecutive path nodes are attributed to
+   *telescoping* segments — ``init`` (DAG start to first attempt
+   queued), ``wait`` (producer done but attempt not yet queued),
+   ``queue`` (waiting for a container), ``run`` (executing) and
+   ``finalize`` (last attempt done to DAG end) — so the segment
+   durations always sum to the DAG wall-clock exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .spans import Span
+from .timeline import TimelineStore
+
+__all__ = ["CriticalPathSegment", "CriticalPathReport", "critical_path",
+           "DagSummary", "dag_summary", "summarize_session"]
+
+
+@dataclass
+class CriticalPathSegment:
+    kind: str                # init | wait | queue | run | finalize
+    start: float
+    end: float
+    vertex: str = ""
+    attempt: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class CriticalPathReport:
+    dag_id: str
+    dag_name: str
+    start: float
+    end: float
+    segments: list[CriticalPathSegment] = field(default_factory=list)
+
+    @property
+    def wall_clock(self) -> float:
+        return self.end - self.start
+
+    @property
+    def total(self) -> float:
+        return sum(seg.duration for seg in self.segments)
+
+    def breakdown(self) -> dict[str, float]:
+        """Total duration on the path per segment kind."""
+        out: dict[str, float] = {}
+        for seg in self.segments:
+            out[seg.kind] = out.get(seg.kind, 0.0) + seg.duration
+        return out
+
+    def render(self) -> str:
+        lines = [
+            f"critical path of {self.dag_id} ({self.dag_name}): "
+            f"{self.wall_clock:.3f}s wall-clock",
+        ]
+        for seg in self.segments:
+            what = seg.attempt or seg.vertex or "-"
+            lines.append(
+                f"  {seg.start:9.3f} -> {seg.end:9.3f}  "
+                f"{seg.kind:<8} {seg.duration:8.3f}s  {what}"
+            )
+        parts = ", ".join(
+            f"{kind}={dur:.3f}s"
+            for kind, dur in sorted(self.breakdown().items())
+        )
+        lines.append(f"  breakdown: {parts}")
+        return "\n".join(lines)
+
+
+def _effective_attempts(store: TimelineStore,
+                        dag_id: str) -> dict[tuple[str, int], Span]:
+    """Latest-finishing succeeded attempt per (vertex, task index)."""
+    eff: dict[tuple[str, int], Span] = {}
+    for span in store.attempt_spans(dag_id):
+        if not span.finished or span.attrs.get("outcome") != "succeeded":
+            continue
+        key = (span.attrs.get("vertex", ""), span.attrs.get("index", 0))
+        best = eff.get(key)
+        if best is None or span.end > best.end:
+            eff[key] = span
+    return eff
+
+
+def _producers(store: TimelineStore,
+               dag_id: str) -> dict[str, list[tuple[str, str]]]:
+    """vertex name -> [(producer vertex, data movement), ...]."""
+    out: dict[str, list[tuple[str, str]]] = {}
+    for ev in store.events(kind="am.dag_submitted", dag=dag_id):
+        for src, dst, movement in ev.attrs.get("edges", []):
+            out.setdefault(dst, []).append((src, movement))
+    return out
+
+
+def critical_path(store: TimelineStore, dag_id: str) -> CriticalPathReport:
+    dag = store.dag_span(dag_id)
+    if dag is None or not dag.finished:
+        raise ValueError(f"no finished dag span for {dag_id!r}")
+
+    report = CriticalPathReport(
+        dag_id=dag_id,
+        dag_name=dag.attrs.get("dag_name", dag.name),
+        start=dag.start,
+        end=dag.end,
+    )
+
+    eff = _effective_attempts(store, dag_id)
+    if not eff:
+        # Nothing succeeded (failed/killed DAG): the whole window is
+        # one opaque segment so the telescoping invariant still holds.
+        report.segments.append(CriticalPathSegment(
+            "init", dag.start, dag.end, vertex="", attempt=""))
+        return report
+
+    producers = _producers(store, dag_id)
+
+    # Backward walk from the attempt that finished last.
+    cur = max(eff.values(), key=lambda s: (s.end, s.start))
+    chain = [cur]
+    while True:
+        candidates: list[Span] = []
+        for src, movement in producers.get(cur.attrs.get("vertex", ""), []):
+            if movement == "ONE_TO_ONE":
+                partner = eff.get((src, cur.attrs.get("index", 0)))
+                if partner is not None:
+                    candidates.append(partner)
+            else:
+                candidates.extend(
+                    span for (vertex, _i), span in eff.items()
+                    if vertex == src
+                )
+        candidates = [c for c in candidates if c.end <= cur.end]
+        if not candidates:
+            break
+        cur = max(candidates, key=lambda s: (s.end, s.start))
+        chain.append(cur)
+    chain.reverse()
+
+    # Telescoping segments: every boundary is clamped into the window
+    # of its attempt, so consecutive segments share endpoints and the
+    # sum is exactly dag.end - dag.start.
+    t = dag.start
+
+    def push(kind: str, start: float, end: float, span: Span) -> float:
+        if end > start:
+            report.segments.append(CriticalPathSegment(
+                kind, start, end,
+                vertex=span.attrs.get("vertex", ""),
+                attempt=span.attrs.get("attempt", span.name),
+            ))
+        return max(start, end)
+
+    for i, span in enumerate(chain):
+        queued = min(max(span.start, t), span.end)
+        launched = min(max(span.attrs.get("launched", span.start), queued),
+                      span.end)
+        t = push("init" if i == 0 else "wait", t, queued, span)
+        t = push("queue", queued, launched, span)
+        t = push("run", launched, span.end, span)
+
+    if dag.end > t:
+        report.segments.append(CriticalPathSegment(
+            "finalize", t, dag.end,
+            vertex=chain[-1].attrs.get("vertex", ""),
+            attempt="",
+        ))
+    return report
+
+
+@dataclass
+class DagSummary:
+    dag_id: str
+    name: str
+    outcome: str
+    wall_clock: float
+    vertices: int
+    attempts: int
+    succeeded: int
+    failed: int
+    killed: int
+    speculations: int
+    reexecutions: int
+    fetch_retries: int
+    faults: int
+    critical: Optional[CriticalPathReport] = None
+
+    def line(self) -> str:
+        return (
+            f"{self.dag_id} ({self.name}): {self.outcome} in "
+            f"{self.wall_clock:.3f}s — {self.vertices} vertices, "
+            f"{self.attempts} attempts ({self.succeeded} ok / "
+            f"{self.failed} failed / {self.killed} killed), "
+            f"{self.speculations} speculations, "
+            f"{self.reexecutions} re-executions, "
+            f"{self.fetch_retries} fetch retries, "
+            f"{self.faults} faults"
+        )
+
+    def render(self) -> str:
+        parts = [self.line()]
+        if self.critical is not None:
+            parts.append(self.critical.render())
+        return "\n".join(parts)
+
+
+def dag_summary(store: TimelineStore, dag_id: str,
+                with_critical_path: bool = True) -> DagSummary:
+    dag = store.dag_span(dag_id)
+    if dag is None:
+        raise ValueError(f"unknown dag {dag_id!r}")
+    finished = store.events(kind="am.dag_finished", dag=dag_id)
+    outcome = finished[-1].attrs.get("state", "?") if finished else "RUNNING"
+
+    attempts = store.attempt_spans(dag_id)
+    outcomes = [span.attrs.get("outcome") for span in attempts]
+    critical = None
+    if with_critical_path and dag.finished:
+        critical = critical_path(store, dag_id)
+
+    end = dag.end if dag.end is not None else dag.start
+    return DagSummary(
+        dag_id=dag_id,
+        name=dag.attrs.get("dag_name", dag.name),
+        outcome=outcome,
+        wall_clock=end - dag.start,
+        vertices=len(store.vertex_spans(dag_id)),
+        attempts=len(attempts),
+        succeeded=outcomes.count("succeeded"),
+        failed=outcomes.count("failed"),
+        killed=outcomes.count("killed"),
+        speculations=len(store.events(kind="am.speculation", dag=dag_id)),
+        reexecutions=len(store.events(kind="am.reexecution", dag=dag_id)),
+        fetch_retries=len(store.events(kind="shuffle.fetch_retry",
+                                       dag=dag_id)),
+        # Faults are cluster-scoped (no dag attr): count those injected
+        # while this DAG was on the clock.
+        faults=len(store.events(kind="chaos.fault", since=dag.start,
+                                until=end)),
+        critical=critical,
+    )
+
+
+def summarize_session(store: TimelineStore,
+                      with_critical_path: bool = True) -> list[DagSummary]:
+    return [
+        dag_summary(store, dag_id, with_critical_path=with_critical_path)
+        for dag_id in store.dag_ids()
+    ]

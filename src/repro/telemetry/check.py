@@ -1,0 +1,61 @@
+"""JSONL trace schema checker (used by CI).
+
+Usage::
+
+    python -m repro.telemetry.check trace.jsonl [more.jsonl ...]
+
+Exits 0 when every record in every file is a well-formed span/event
+record, 1 otherwise (problems printed one per line).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from .export import validate_records
+
+
+def check_file(path: str) -> list[str]:
+    try:
+        records = []
+        with open(path, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    return [f"{path}:{lineno}: invalid JSON: {exc}"]
+    except OSError as exc:
+        return [f"{path}: {exc}"]
+    if not records:
+        return [f"{path}: empty trace"]
+    return [f"{path}: {p}" for p in validate_records(records)]
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: python -m repro.telemetry.check FILE.jsonl ...",
+              file=sys.stderr)
+        return 2
+    problems = []
+    total = 0
+    for path in argv:
+        problems.extend(check_file(path))
+        try:
+            with open(path, encoding="utf-8") as fh:
+                total += sum(1 for line in fh if line.strip())
+        except OSError:
+            pass
+    for problem in problems:
+        print(problem)
+    if problems:
+        return 1
+    print(f"ok: {total} records across {len(argv)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,108 @@
+"""Structured events: the timeline's raw record stream.
+
+Every emission is a :class:`TelemetryEvent` — a simulated-clock
+timestamp, a dotted ``kind`` (``"yarn.allocation"``,
+``"scheduler.task_placed"``, ``"chaos.fault"``, ...) and a free-form
+attribute dict. The :class:`EventLog` is append-only and ordered by
+emission; queries live on :class:`~repro.telemetry.timeline.TimelineStore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = ["TelemetryEvent", "EventLog", "TaskTraceEntry"]
+
+
+@dataclass
+class TelemetryEvent:
+    """One typed record on the timeline."""
+
+    ts: float
+    kind: str
+    attrs: dict = field(default_factory=dict)
+    seq: int = 0        # emission order (ties on ts are meaningful)
+
+    def __repr__(self) -> str:
+        return f"<Event {self.kind} t={self.ts:.3f} {self.attrs}>"
+
+
+class EventLog:
+    """Append-only, emission-ordered log of :class:`TelemetryEvent`."""
+
+    def __init__(self):
+        self._events: list[TelemetryEvent] = []
+
+    def emit(self, kind: str, ts: float, **attrs) -> TelemetryEvent:
+        event = TelemetryEvent(ts=ts, kind=kind, attrs=attrs,
+                               seq=len(self._events))
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TelemetryEvent]:
+        return iter(self._events)
+
+    def select(
+        self,
+        kind: Optional[str] = None,
+        prefix: Optional[str] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+        **attrs,
+    ) -> list[TelemetryEvent]:
+        """Filter by exact kind, kind prefix, time range and attrs."""
+        out = []
+        for ev in self._events:
+            if kind is not None and ev.kind != kind:
+                continue
+            if prefix is not None and not ev.kind.startswith(prefix):
+                continue
+            if since is not None and ev.ts < since:
+                continue
+            if until is not None and ev.ts > until:
+                continue
+            if any(ev.attrs.get(k) != v for k, v in attrs.items()):
+                continue
+            out.append(ev)
+        return out
+
+
+@dataclass
+class TaskTraceEntry:
+    """One task run on one container (paper Figure 7).
+
+    Replaces the historical ``(container, attempt_id, vertex, start,
+    end)`` 5-tuple in ``TaskSchedulerService.task_trace``. Iteration
+    still yields exactly those five fields, so existing
+    tuple-unpacking consumers keep working; the extra fields carry the
+    placement detail the exporters need.
+    """
+
+    container_id: str
+    attempt_id: str
+    vertex: str
+    start: float
+    end: float
+    node_id: str = ""
+    dag_id: str = ""
+
+    def __iter__(self):
+        # Tuple-compatibility: the original 5-tuple shape, in order.
+        return iter(
+            (self.container_id, self.attempt_id, self.vertex,
+             self.start, self.end)
+        )
+
+    def __len__(self) -> int:
+        return 5
+
+    def __getitem__(self, index):
+        return tuple(self)[index]
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start

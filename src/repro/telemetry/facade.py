@@ -1,0 +1,86 @@
+"""The Telemetry facade: one object bundling log, tracer, metrics
+and the timeline store, installed onto the simulation Environment.
+
+Deep leaf objects (fetchers, node managers, the YARN scheduler) reach
+telemetry ambiently through the environment they already hold::
+
+    tel = get_telemetry(env)
+    if tel is not None:
+        tel.event("shuffle.fetch_retry", spill=..., backoff=...)
+
+so the whole layer is optional: simulations built without a
+:class:`Telemetry` (raw ``Environment`` unit tests) pay only a
+``getattr`` per emission site.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .events import EventLog, TelemetryEvent
+from .metrics import MetricsRegistry
+from .spans import Span, Tracer
+from .timeline import TimelineStore
+
+__all__ = ["Telemetry", "get_telemetry"]
+
+
+def get_telemetry(env) -> Optional["Telemetry"]:
+    """The telemetry installed on this environment, if any."""
+    return getattr(env, "telemetry", None)
+
+
+class Telemetry:
+    def __init__(self, env=None, verbose_sim: bool = False):
+        self.env = env
+        self.log = EventLog()
+        self.tracer = Tracer(env=env)
+        self.metrics = MetricsRegistry()
+        self.store = TimelineStore(self.log, self.tracer)
+        # Registries of individual components (e.g. one per AM attempt)
+        # attached for discovery/export alongside the global registry.
+        self.registries: dict[str, MetricsRegistry] = {}
+        # Per-process events are high volume; off by default (counters
+        # are always maintained).
+        self.verbose_sim = verbose_sim
+        if env is not None:
+            self.install(env)
+
+    # -- wiring ---------------------------------------------------------
+    def install(self, env) -> None:
+        """Become the ambient telemetry of ``env``."""
+        self.env = env
+        self.tracer.env = env
+        env.telemetry = self
+        env.add_process_hook(self._on_process_created)
+
+    def attach_registry(self, name: str,
+                        registry: MetricsRegistry) -> MetricsRegistry:
+        self.registries[name] = registry
+        return registry
+
+    def _on_process_created(self, process) -> None:
+        # sim.core scheduling hook: cheap accounting for every process
+        # the kernel spawns; full events only when explicitly enabled.
+        self.metrics.counter("sim.processes_started").inc()
+        if self.verbose_sim:
+            self.event("sim.process_started", name=process.name)
+
+    # -- emission -------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.env.now if self.env is not None else 0.0
+
+    def event(self, kind: str, ts: Optional[float] = None,
+              **attrs) -> TelemetryEvent:
+        return self.log.emit(kind, self.now if ts is None else ts, **attrs)
+
+    def span(self, kind: str, name: str, parent=None,
+             ts: Optional[float] = None, **attrs) -> Span:
+        return self.tracer.start(kind, name, parent=parent,
+                                 ts=self.now if ts is None else ts, **attrs)
+
+    def finish(self, span: Span, ts: Optional[float] = None,
+               **attrs) -> Span:
+        return self.tracer.finish(span, ts=self.now if ts is None else ts,
+                                  **attrs)

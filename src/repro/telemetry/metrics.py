@@ -1,0 +1,172 @@
+"""Typed metric instruments and the registry that owns them.
+
+The registry replaces the ad-hoc ``dict[str, float]`` metric stores
+that grew inside the AM and task scheduler. Counters are monotonic
+accumulators, gauges hold last-written values, histograms keep samples
+for percentile queries. :meth:`MetricsRegistry.snapshot` /
+:meth:`MetricsRegistry.delta` give per-DAG scoping: snapshot at DAG
+start, delta at DAG end — the session-scoped and DAG-scoped views are
+derived from the *same* counters and cannot drift.
+
+:class:`MetricsView` is a ``MutableMapping`` facade over the counters
+so legacy call sites (``am.metrics["reexecutions"] += 1``,
+``dict(am.metrics)``) keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, MutableMapping, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "MetricsView"]
+
+
+def _norm(value: float):
+    """Present integral floats as ints (keeps legacy output stable)."""
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+class Counter:
+    """A monotonic accumulator (resettable only by direct assignment)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0.0):
+        self.name = name
+        self.value = value
+
+    def inc(self, delta: float = 1.0) -> float:
+        self.value += delta
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={_norm(self.value)}>"
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value", "updated_at")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+        self.updated_at: Optional[float] = None
+
+    def set(self, value: float, ts: Optional[float] = None) -> None:
+        self.value = value
+        self.updated_at = ts
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """Sample-keeping distribution (simulations are small enough)."""
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.samples) if self.samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile, q in [0, 100]."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1,
+                          round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:.3f}>"
+
+
+class MetricsRegistry:
+    def __init__(self):
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- instrument access (create on demand) ---------------------------
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(name)
+        return histogram
+
+    # -- scoping --------------------------------------------------------
+    def snapshot(self) -> dict[str, float]:
+        """Raw counter values, for later :meth:`delta` scoping."""
+        return {name: c.value for name, c in self.counters.items()}
+
+    def delta(self, base: dict[str, float]) -> dict:
+        """Per-counter growth since ``base`` (missing keys count as 0)."""
+        return {
+            name: _norm(c.value - base.get(name, 0.0))
+            for name, c in self.counters.items()
+        }
+
+    def as_dict(self) -> dict:
+        return {name: _norm(c.value) for name, c in self.counters.items()}
+
+    def view(self) -> "MetricsView":
+        return MetricsView(self)
+
+
+class MetricsView(MutableMapping):
+    """Dict-compatible live view over a registry's counters."""
+
+    def __init__(self, registry: MetricsRegistry):
+        self._registry = registry
+
+    def __getitem__(self, key: str):
+        counter = self._registry.counters.get(key)
+        if counter is None:
+            raise KeyError(key)
+        return _norm(counter.value)
+
+    def __setitem__(self, key: str, value: float) -> None:
+        self._registry.counter(key).value = float(value)
+
+    def __delitem__(self, key: str) -> None:
+        del self._registry.counters[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._registry.counters)
+
+    def __len__(self) -> int:
+        return len(self._registry.counters)
+
+    def __repr__(self) -> str:
+        return f"MetricsView({self._registry.as_dict()!r})"

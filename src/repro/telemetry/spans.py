@@ -1,0 +1,106 @@
+"""Hierarchical spans over the simulation clock.
+
+A :class:`Span` is a named interval with a kind, optional parent and
+attribute dict. The hierarchy mirrors the execution model:
+
+    session -> dag -> vertex -> attempt
+    session -> container            (lifecycle of one held container)
+    attempt ~> fetch                (shuffle fetches, linked by attrs)
+
+Spans are cheap records — no context managers, no thread-locals; the
+emitting code calls :meth:`Tracer.start` / :meth:`Tracer.finish`
+explicitly with the simulation's current time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass
+class Span:
+    span_id: int
+    kind: str           # "session" | "dag" | "vertex" | "attempt" | ...
+    name: str
+    start: float
+    end: Optional[float] = None
+    parent_id: Optional[int] = None
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def __repr__(self) -> str:
+        end = f"{self.end:.3f}" if self.end is not None else "..."
+        return f"<Span {self.kind}:{self.name} [{self.start:.3f},{end}]>"
+
+
+class Tracer:
+    """Creates and collects spans; timestamps default to ``env.now``."""
+
+    def __init__(self, env=None):
+        self.env = env
+        self.spans: list[Span] = []
+        self._by_id: dict[int, Span] = {}
+
+    def _now(self, ts: Optional[float]) -> float:
+        if ts is not None:
+            return ts
+        if self.env is not None:
+            return self.env.now
+        raise ValueError("tracer has no clock: pass ts= explicitly")
+
+    def start(
+        self,
+        kind: str,
+        name: str,
+        parent: Union[Span, int, None] = None,
+        ts: Optional[float] = None,
+        **attrs,
+    ) -> Span:
+        parent_id = parent.span_id if isinstance(parent, Span) else parent
+        span = Span(
+            span_id=len(self.spans) + 1,
+            kind=kind,
+            name=name,
+            start=self._now(ts),
+            parent_id=parent_id,
+            attrs=attrs,
+        )
+        self.spans.append(span)
+        self._by_id[span.span_id] = span
+        return span
+
+    def finish(self, span: Span, ts: Optional[float] = None,
+               **attrs) -> Span:
+        if span.end is None:
+            span.end = self._now(ts)
+        if attrs:
+            span.attrs.update(attrs)
+        return span
+
+    def get(self, span_id: int) -> Optional[Span]:
+        return self._by_id.get(span_id)
+
+    def children(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def select(self, kind: Optional[str] = None, **attrs) -> list[Span]:
+        out = []
+        for span in self.spans:
+            if kind is not None and span.kind != kind:
+                continue
+            if any(span.attrs.get(k) != v for k, v in attrs.items()):
+                continue
+            out.append(span)
+        return out

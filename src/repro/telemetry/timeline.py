@@ -1,0 +1,69 @@
+"""TimelineStore: the query surface over events and spans.
+
+This is the simulation's stand-in for the YARN Application Timeline
+Server: exporters, the analysis module and tests all read execution
+history through it — by DAG, by vertex, by event kind, by time range —
+instead of poking at AM internals.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .events import EventLog, TelemetryEvent
+from .spans import Span, Tracer
+
+__all__ = ["TimelineStore"]
+
+
+class TimelineStore:
+    def __init__(self, log: EventLog, tracer: Tracer):
+        self.log = log
+        self.tracer = tracer
+
+    # -- events ---------------------------------------------------------
+    def events(
+        self,
+        kind: Optional[str] = None,
+        prefix: Optional[str] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+        **attrs,
+    ) -> list[TelemetryEvent]:
+        return self.log.select(kind=kind, prefix=prefix, since=since,
+                               until=until, **attrs)
+
+    def event_kinds(self) -> dict[str, int]:
+        kinds: dict[str, int] = {}
+        for event in self.log:
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        return kinds
+
+    # -- spans ----------------------------------------------------------
+    def spans(self, kind: Optional[str] = None, **attrs) -> list[Span]:
+        return self.tracer.select(kind=kind, **attrs)
+
+    def dag_ids(self) -> list[str]:
+        """DAG execution ids in submission order."""
+        out = []
+        for span in self.tracer.select(kind="dag"):
+            dag_id = span.attrs.get("dag", span.name)
+            if dag_id not in out:
+                out.append(dag_id)
+        return out
+
+    def dag_span(self, dag_id: str) -> Optional[Span]:
+        for span in self.tracer.select(kind="dag"):
+            if span.attrs.get("dag", span.name) == dag_id:
+                return span
+        return None
+
+    def vertex_spans(self, dag_id: str) -> list[Span]:
+        return self.tracer.select(kind="vertex", dag=dag_id)
+
+    def attempt_spans(self, dag_id: str,
+                      vertex: Optional[str] = None) -> list[Span]:
+        attrs = {"dag": dag_id}
+        if vertex is not None:
+            attrs["vertex"] = vertex
+        return self.tracer.select(kind="attempt", **attrs)

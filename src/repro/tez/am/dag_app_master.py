@@ -21,6 +21,7 @@ from typing import Any, Generator, Optional
 
 from ...cluster import Node
 from ...sim import Environment, Interrupt, Store
+from ...telemetry import MetricsRegistry, get_telemetry
 from ...yarn import AMContext, Container, Resource
 from ..committer import CommitterContext, OutputCommitter
 from ..config import TezConfig
@@ -201,9 +202,13 @@ class DAGAppMaster:
         self.recovery = recovery
         ctx.register()
         services.job_token = ctx.rm.security.issue("JOB", str(ctx.app_id))
+        # Per-AM metrics registry: the scheduler's counters, the legacy
+        # session metrics and the per-task counters all live here, so
+        # DAG-scoped views are snapshot/delta over one source of truth.
+        self.registry = MetricsRegistry()
         self.scheduler = TaskSchedulerService(
             self.env, ctx, self.config, self._attempt_body,
-            self._attempt_exit,
+            self._attempt_exit, registry=self.registry,
         )
         ctx.on_node_loss(self._on_node_loss)
         # Node blacklisting (paper 4.3): per-node failure accounting
@@ -219,25 +224,36 @@ class DAGAppMaster:
         self._dag_state = DAGState.NEW
         self._dag_done = None            # sim Event
         self._dag_diagnostics = ""
-        self._dag_counters: dict[str, float] = {}
         self._edge_managers: dict[tuple[str, str], EdgeManagerPlugin] = {}
         self._init_contexts: dict[tuple[str, str], InitializerContext] = {}
         self._monitors: list = []
-        # Aggregate metrics across DAGs (session-wide).
-        self.metrics: dict[str, float] = {
-            "tasks_succeeded": 0,
-            "attempts_failed": 0,
-            "attempts_killed": 0,
-            "speculative_attempts": 0,
-            "speculative_wins": 0,
-            "reexecutions": 0,
-            "preemptions": 0,
+        self._dag_span = None
+        # Aggregate metrics across DAGs (session-wide). `metrics` is a
+        # dict-compatible live view over the registry's counters, so
+        # historical `am.metrics[...]` call sites keep working.
+        for key in (
+            "tasks_succeeded",
+            "attempts_failed",
+            "attempts_killed",
+            "speculative_attempts",
+            "speculative_wins",
+            "reexecutions",
+            "preemptions",
             # Resilience / chaos accounting.
-            "nodes_lost": 0,
-            "nodes_blacklisted": 0,
-            "lost_node_reexecutions": 0,
-            "faults_injected": 0,
-        }
+            "nodes_lost",
+            "nodes_blacklisted",
+            "lost_node_reexecutions",
+            "faults_injected",
+        ):
+            self.registry.counter(key)
+        self.metrics = self.registry.view()
+        telemetry = get_telemetry(self.env)
+        self.session_span = None
+        if telemetry is not None:
+            telemetry.attach_registry(str(ctx.app_id), self.registry)
+            self.session_span = telemetry.span(
+                "session", str(ctx.app_id), app=str(ctx.app_id),
+            )
 
     # ================================================== DAG lifecycle
     def execute_dag(self, dag: DAG) -> Generator:
@@ -249,14 +265,13 @@ class DAGAppMaster:
         self._dag_state = DAGState.RUNNING
         self._dag_done = self.env.event()
         self._dag_diagnostics = ""
-        self._dag_counters = {}
         self._vertices = {}
         self._edge_managers = {}
         self._init_contexts = {}
         self.scheduler.session_waiting = False
-        base_metrics = dict(self.metrics)
-        base_launched = self.scheduler.containers_launched
-        base_reuse = self.scheduler.reuse_hits
+        # Per-DAG scoping: everything in the registry (legacy metrics,
+        # scheduler counters, task counters) is deltaed against this.
+        base_counters = self.registry.snapshot()
 
         depths = dag.vertex_depths()
         for vertex in dag.topological_order():
@@ -268,6 +283,25 @@ class DAGAppMaster:
             self._vertices[edge.target.name].in_edges.append(edge)
             self._edge_managers[(edge.source.name, edge.target.name)] = (
                 self._create_edge_manager(edge)
+            )
+
+        telemetry = get_telemetry(self.env)
+        self._dag_span = None
+        if telemetry is not None:
+            self._dag_span = telemetry.span(
+                "dag", dag.name, parent=self.session_span,
+                dag=self._dag_id, dag_name=dag.name,
+            )
+            telemetry.event(
+                "am.dag_submitted",
+                dag=self._dag_id,
+                name=dag.name,
+                vertices=[v.name for v in dag.topological_order()],
+                edges=[
+                    [e.source.name, e.target.name,
+                     e.prop.data_movement.value]
+                    for e in dag.edges
+                ],
             )
 
         recovered = (
@@ -312,6 +346,7 @@ class DAGAppMaster:
             self.recovery.record_dag_finished(dag.name)
 
         finish = self.env.now
+        delta = self.registry.delta(base_counters)
         status = DAGStatus(
             name=dag.name,
             state=self._dag_state,
@@ -319,20 +354,37 @@ class DAGAppMaster:
             finish_time=finish,
             diagnostics=self._dag_diagnostics,
             metrics={
-                **{
-                    k: self.metrics[k] - base_metrics.get(k, 0)
-                    for k in self.metrics
-                },
+                # Legacy session metrics are the un-namespaced keys;
+                # namespaced counters (scheduler.*, task.*) surface via
+                # their dedicated entries below.
+                **{k: v for k, v in delta.items() if "." not in k},
                 "containers_launched":
-                    self.scheduler.containers_launched - base_launched,
-                "container_reuses":
-                    self.scheduler.reuse_hits - base_reuse,
+                    delta.get("scheduler.containers_launched", 0),
+                "container_reuses": delta.get("scheduler.reuse_hits", 0),
                 "total_tasks": sum(
                     len(vr.tasks) for vr in self._vertices.values()
                 ),
-                "counters": dict(self._dag_counters),
+                "counters": {
+                    k[len("task."):]: v for k, v in delta.items()
+                    if k.startswith("task.") and v
+                },
             },
         )
+        if telemetry is not None:
+            for vr in self._vertices.values():
+                span = getattr(vr, "telemetry_span", None)
+                if span is not None and not span.finished:
+                    telemetry.finish(span, outcome=vr.state.value)
+            if self._dag_span is not None:
+                telemetry.finish(self._dag_span,
+                                 outcome=self._dag_state.value)
+            telemetry.event(
+                "am.dag_finished",
+                dag=self._dag_id,
+                name=dag.name,
+                state=self._dag_state.value,
+                elapsed=finish - start,
+            )
         self._dag = None
         self.scheduler.session_waiting = True
         return status
@@ -475,6 +527,17 @@ class DAGAppMaster:
     def _start_vertex(self, vr: VertexRuntime, recovered: dict) -> None:
         vr.state = VertexState.RUNNING
         vr.start_time = self.env.now
+        telemetry = get_telemetry(self.env)
+        if telemetry is not None:
+            vr.telemetry_span = telemetry.span(
+                "vertex", vr.name, parent=self._dag_span,
+                dag=vr.dag_id, vertex=vr.name,
+                parallelism=vr.parallelism,
+            )
+            telemetry.event(
+                "am.vertex_state", dag=vr.dag_id, vertex=vr.name,
+                state=vr.state.value,
+            )
         # Replay recovered successes (AM restart): mark tasks done and
         # re-route their recorded events without re-running them.
         for (vertex_name, index), (events, node_id) in recovered.items():
@@ -568,6 +631,17 @@ class DAGAppMaster:
         attempt = task.new_attempt(is_speculative=speculative)
         attempt.state = AttemptState.QUEUED
         attempt.start_time = self.env.now
+        telemetry = get_telemetry(self.env)
+        if telemetry is not None:
+            attempt.telemetry_span = telemetry.span(
+                "attempt", attempt.attempt_id,
+                parent=getattr(task.vertex, "telemetry_span", None),
+                dag=task.vertex.dag_id,
+                vertex=task.vertex.name,
+                index=task.index,
+                attempt=attempt.attempt_id,
+                speculative=speculative,
+            )
         if speculative:
             self.metrics["speculative_attempts"] += 1
         nodes, racks = self._task_locality(task)
@@ -590,6 +664,11 @@ class DAGAppMaster:
         vr = task.vertex
         attempt.state = AttemptState.RUNNING
         attempt.launch_time = self.env.now
+        span = getattr(attempt, "telemetry_span", None)
+        if span is not None:
+            span.attrs["launched"] = self.env.now
+            span.attrs["node"] = attempt.node_id
+            span.attrs["container"] = str(container.container_id)
         if task.state == TaskState.SCHEDULED:
             task.state = TaskState.RUNNING
         spec = self._build_task_spec(task, attempt)
@@ -768,6 +847,7 @@ class DAGAppMaster:
                 vr.name not in self._vertices or \
                 self._vertices[vr.name] is not vr:
             attempt.state = AttemptState.KILLED
+            self._finish_attempt_span(attempt)
             return
         if error is None:
             self._attempt_succeeded(attempt)
@@ -791,6 +871,24 @@ class DAGAppMaster:
             self._attempt_killed(attempt)
         else:
             self._attempt_failed(attempt, error)
+        self._finish_attempt_span(attempt)
+
+    def _finish_attempt_span(self, attempt: TaskAttempt) -> None:
+        span = getattr(attempt, "telemetry_span", None)
+        if span is None or span.finished:
+            return
+        telemetry = get_telemetry(self.env)
+        if telemetry is None:
+            return
+        outcome = {
+            AttemptState.SUCCEEDED: "succeeded",
+            AttemptState.FAILED: "failed",
+            AttemptState.KILLED: "killed",
+        }.get(attempt.state, attempt.state.value.lower())
+        telemetry.finish(
+            span, outcome=outcome, node=attempt.node_id or "",
+            reason=attempt.end_reason.value if attempt.end_reason else "",
+        )
 
     @staticmethod
     def _attempt_node_id(attempt: TaskAttempt) -> Optional[str]:
@@ -819,10 +917,12 @@ class DAGAppMaster:
             getattr(attempt, "_pending_success_events", [])
         )
         self.metrics["tasks_succeeded"] += 1
+        # Task counters aggregate into the AM registry under "task.";
+        # execute_dag deltas them against the DAG-start snapshot, so
+        # per-DAG and session-wide counter views derive from the same
+        # accumulators.
         for counter, value in attempt.counters.items():
-            self._dag_counters[counter] = (
-                self._dag_counters.get(counter, 0) + value
-            )
+            self.registry.counter(f"task.{counter}").inc(value)
         # Kill speculation losers.
         for sibling in task.running_attempts():
             if sibling is not attempt:
@@ -1018,6 +1118,12 @@ class DAGAppMaster:
             return  # already being handled
         vr = task.vertex
         self.metrics["reexecutions"] += 1
+        telemetry = get_telemetry(self.env)
+        if telemetry is not None:
+            telemetry.event(
+                "am.reexecution", dag=vr.dag_id, vertex=vr.name,
+                index=task.index, reason=reason.value,
+            )
         if self.recovery is not None:
             self.recovery.invalidate(self._dag.name, vr.name, task.index)
         task.state = TaskState.RUNNING
@@ -1043,6 +1149,12 @@ class DAGAppMaster:
             return
         self.blacklisted_nodes.add(node_id)
         self.metrics["nodes_blacklisted"] += 1
+        telemetry = get_telemetry(self.env)
+        if telemetry is not None:
+            telemetry.event(
+                "am.node_blacklisted", node=node_id,
+                failures=self._node_failures[node_id],
+            )
         self.scheduler.blacklist_node(node_id)
         limit = (
             self.config.blacklist_disable_fraction
@@ -1122,6 +1234,14 @@ class DAGAppMaster:
                 continue  # already speculating (or nothing running)
             attempt = running[0]
             if self.env.now - attempt.launch_time > threshold:
+                telemetry = get_telemetry(self.env)
+                if telemetry is not None:
+                    telemetry.event(
+                        "am.speculation", dag=vr.dag_id, vertex=vr.name,
+                        index=task.index,
+                        running_for=self.env.now - attempt.launch_time,
+                        threshold=threshold,
+                    )
                 self._launch_attempt(task, speculative=True)
 
     def _deadlock_monitor(self) -> Generator:
@@ -1189,6 +1309,15 @@ class DAGAppMaster:
         if vr.state == VertexState.RUNNING and vr.all_tasks_done():
             vr.state = VertexState.SUCCEEDED
             vr.finish_time = self.env.now
+            telemetry = get_telemetry(self.env)
+            if telemetry is not None:
+                span = getattr(vr, "telemetry_span", None)
+                if span is not None:
+                    telemetry.finish(span, outcome=vr.state.value)
+                telemetry.event(
+                    "am.vertex_state", dag=vr.dag_id, vertex=vr.name,
+                    state=vr.state.value,
+                )
         self._check_dag_done()
 
     def _check_dag_done(self) -> None:
@@ -1251,3 +1380,6 @@ class DAGAppMaster:
     def shutdown(self) -> None:
         self.scheduler.shutdown()
         self.services.shuffle.delete_app(str(self.ctx.app_id))
+        telemetry = get_telemetry(self.env)
+        if telemetry is not None and self.session_span is not None:
+            telemetry.finish(self.session_span)

@@ -94,6 +94,7 @@ class TaskAttempt:
         self.end_reason: Optional[AttemptEndReason] = None
         self.diagnostics = ""
         self.counters: dict[str, float] = {}
+        self.telemetry_span = None       # timeline span (observability)
 
     @property
     def attempt_id(self) -> str:
@@ -172,6 +173,7 @@ class VertexRuntime:
         self.pending_vm_events: list = []
         self.start_time: Optional[float] = None
         self.finish_time: Optional[float] = None
+        self.telemetry_span = None       # timeline span (observability)
         self.inited_event = None   # sim Event set by the AM
         # True once the first task is scheduled: parallelism is final
         # and downstream vertices may compute their input shapes

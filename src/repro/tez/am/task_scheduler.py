@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, Optional
 
 from ...sim import Environment, Interrupt, Store
+from ...telemetry import MetricsRegistry, TaskTraceEntry, get_telemetry
 from ...yarn import (
     AMContext,
     Container,
@@ -73,6 +74,7 @@ class TaskSchedulerService:
         config: TezConfig,
         run_attempt: Callable[[TaskAttempt, Container], Generator],
         on_attempt_exit: Callable[[TaskAttempt, Optional[BaseException]], None],
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.env = env
         self.ctx = ctx
@@ -86,17 +88,41 @@ class TaskSchedulerService:
         self.blacklisted: set[str] = set()  # nodes the AM avoids
         self._stopped = False
         self.session_waiting = False  # between DAGs: longer idle timeout
-        # metrics
-        self.containers_launched = 0
-        self.tasks_placed = 0
-        self.reuse_hits = 0
-        self.containers_released = 0
-        # Execution trace (paper Figure 7): one entry per task run,
-        # (container_id, attempt_id, dag_name, start, end).
-        self.task_trace: list[tuple] = []
+        # Metrics live in a registry (typically the owning AM's) so the
+        # AM's per-DAG delta accounting and these counters cannot drift.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._c_launched = self.registry.counter(
+            "scheduler.containers_launched")
+        self._c_placed = self.registry.counter("scheduler.tasks_placed")
+        self._c_reuse = self.registry.counter("scheduler.reuse_hits")
+        self._c_released = self.registry.counter(
+            "scheduler.containers_released")
+        self._h_queue_wait = self.registry.histogram(
+            "scheduler.queue_wait_seconds")
+        # Execution trace (paper Figure 7): one TaskTraceEntry per task
+        # run; iterates like the historical (container_id, attempt_id,
+        # vertex, start, end) tuple.
+        self.task_trace: list[TaskTraceEntry] = []
         env.process(self._allocation_pump(), name="tez-alloc-pump")
         env.process(self._completion_pump(), name="tez-completion-pump")
         env.process(self._idle_reaper(), name="tez-idle-reaper")
+
+    # -- legacy counter views (registry-backed) -------------------------
+    @property
+    def containers_launched(self) -> int:
+        return int(self._c_launched.value)
+
+    @property
+    def tasks_placed(self) -> int:
+        return int(self._c_placed.value)
+
+    @property
+    def reuse_hits(self) -> int:
+        return int(self._c_reuse.value)
+
+    @property
+    def containers_released(self) -> int:
+        return int(self._c_released.value)
 
     # ------------------------------------------------------------------ API
     def schedule(self, request: TaskRequest) -> None:
@@ -110,8 +136,8 @@ class TaskSchedulerService:
             )
         slot = self._find_reusable_slot(request)
         if slot is not None:
-            self.reuse_hits += 1
-            self._assign(slot, request)
+            self._c_reuse.inc()
+            self._assign(slot, request, reuse=True)
             return
         self.pending.append(request)
         self.pending.sort(key=lambda r: (r.priority, r.queued_at or 0))
@@ -157,7 +183,7 @@ class TaskSchedulerService:
         if slot.releasing:
             return
         slot.releasing = True
-        self.containers_released += 1
+        self._c_released.inc()
         self.slots.pop(slot.container.container_id, None)
         self.ctx.release_container(slot.container.container_id)
 
@@ -372,18 +398,48 @@ class TaskSchedulerService:
             self.pending.remove(request)
             if request.asked_yarn:
                 self._cancel_ask(request)
-            self.reuse_hits += 1
-            self._assign(slot, request)
+            self._c_reuse.inc()
+            self._assign(slot, request, reuse=True)
         else:
             slot.idle_since = self.env.now
 
     # ------------------------------------------------------------ execution
-    def _assign(self, slot: _Slot, request: TaskRequest) -> None:
+    def _assign(self, slot: _Slot, request: TaskRequest,
+                reuse: bool = False) -> None:
         slot.current = request.attempt
         slot.idle_since = None
-        self.tasks_placed += 1
+        self._c_placed.inc()
         request.attempt.container = slot.container
         request.attempt.node_id = slot.container.node_id
+        queue_wait = self.env.now - (request.queued_at or self.env.now)
+        self._h_queue_wait.observe(queue_wait)
+        telemetry = get_telemetry(self.env)
+        if telemetry is not None:
+            attempt = request.attempt
+            node = slot.container.node_id
+            locality = "any"
+            if request.nodes and node in request.nodes:
+                locality = "node"
+            elif request.nodes or request.racks:
+                racks = set(request.racks) | {
+                    self.cluster.nodes[n].rack
+                    for n in request.nodes if n in self.cluster.nodes
+                }
+                if slot.container.node.rack in racks:
+                    locality = "rack"
+                else:
+                    locality = "off"
+            telemetry.event(
+                "scheduler.task_placed",
+                attempt=attempt.attempt_id,
+                dag=attempt.task.vertex.dag_id,
+                vertex=attempt.task.vertex.name,
+                node=node,
+                container=str(slot.container.container_id),
+                locality=locality,
+                reuse=reuse,
+                queue_wait=queue_wait,
+            )
         self._ensure_launched(slot)
         slot.mailbox.put(request.attempt)
 
@@ -391,7 +447,7 @@ class TaskSchedulerService:
         if slot.launched:
             return
         slot.launched = True
-        self.containers_launched += 1
+        self._c_launched.inc()
         self.ctx.launch_container(
             slot.container, lambda c, s=slot: self._runner(s)
         )
@@ -432,13 +488,31 @@ class TaskSchedulerService:
                 error = exc
             slot.container.tasks_run += 1
             slot.current = None
-            self.task_trace.append((
-                str(slot.container.container_id),
-                attempt.attempt_id,
-                attempt.task.vertex.name,
-                task_started,
-                self.env.now,
-            ))
+            entry = TaskTraceEntry(
+                container_id=str(slot.container.container_id),
+                attempt_id=attempt.attempt_id,
+                vertex=attempt.task.vertex.name,
+                start=task_started,
+                end=self.env.now,
+                node_id=slot.container.node_id,
+                dag_id=attempt.task.vertex.dag_id,
+            )
+            self.task_trace.append(entry)
+            telemetry = get_telemetry(self.env)
+            if telemetry is not None:
+                telemetry.event(
+                    "task.run",
+                    attempt=attempt.attempt_id,
+                    dag=entry.dag_id,
+                    vertex=entry.vertex,
+                    index=attempt.task.index,
+                    node=entry.node_id,
+                    container=entry.container_id,
+                    start=entry.start,
+                    ok=error is None,
+                )
+                telemetry.metrics.histogram(
+                    "scheduler.task_run_seconds").observe(entry.duration)
             self._on_attempt_exit(attempt, error)
             self._match_slot_to_pending(slot)
 

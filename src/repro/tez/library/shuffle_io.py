@@ -169,6 +169,7 @@ class _FetchingInputBase(LogicalInput):
             app_id=services.job_token.owner,
             reader_node=self.ctx.node_id,
             job_token=services.job_token,
+            owner=self.ctx.task.attempt_id,
         )
 
     def _gather(self) -> Generator:

@@ -6,6 +6,7 @@ from typing import Callable, Generator, Optional
 
 from ..cluster import Node
 from ..sim import Environment, Interrupt
+from ..telemetry import get_telemetry
 from .container import Container
 from .records import (
     ContainerExitStatus,
@@ -103,6 +104,19 @@ class NodeManager:
             else launch_overhead
         )
         container.state = ContainerState.RUNNING
+        telemetry = get_telemetry(self.env)
+        if telemetry is not None:
+            container.telemetry_span = telemetry.span(
+                "container", str(container.container_id),
+                node=self.node.node_id,
+                app=str(container.container_id.app_id),
+            )
+            telemetry.event(
+                "yarn.container_launched",
+                container=str(container.container_id),
+                node=self.node.node_id,
+                app=str(container.container_id.app_id),
+            )
         container.process = self.env.process(
             self._supervise(container, runner, overhead),
             name=f"container:{container.container_id}",
@@ -138,6 +152,17 @@ class NodeManager:
         container.state = ContainerState.COMPLETE
         container.exit_status = exit_status
         container.diagnostics = diagnostics
+        telemetry = get_telemetry(self.env)
+        if telemetry is not None:
+            span = getattr(container, "telemetry_span", None)
+            if span is not None:
+                telemetry.finish(span, exit_status=exit_status)
+            telemetry.event(
+                "yarn.container_stopped",
+                container=str(container.container_id),
+                node=self.node.node_id,
+                exit_status=exit_status,
+            )
         self.unreserve(container)
         status = ContainerStatus(
             container.container_id,

@@ -14,6 +14,7 @@ from typing import Callable, Generator, Optional
 
 from ..cluster import Cluster, Node
 from ..sim import Environment, Store
+from ..telemetry import get_telemetry
 from .container import Container
 from .node_manager import ContainerRunner, NodeManager
 from .records import (
@@ -371,6 +372,9 @@ class ResourceManager:
         ):
             self.node_states[node_id] = NodeState.RUNNING
             self.nodes_recovered_total += 1
+            telemetry = get_telemetry(self.env)
+            if telemetry is not None:
+                telemetry.event("yarn.node_recovered", node=node_id)
 
     def _check_node_liveness(self) -> None:
         timeout = self.spec.node_liveness_timeout
@@ -392,6 +396,10 @@ class ResourceManager:
         """Declare a node LOST: kill its containers, tell every AM."""
         self.node_states[node_id] = NodeState.LOST
         self.nodes_lost_total += 1
+        telemetry = get_telemetry(self.env)
+        if telemetry is not None:
+            telemetry.event("yarn.node_lost", node=node_id)
+            telemetry.metrics.counter("yarn.nodes_lost").inc()
         nm = self.node_managers[node_id]
         for cid in list(nm.containers):
             nm.stop_container(cid, ContainerExitStatus.NODE_LOST)

@@ -19,6 +19,7 @@ from typing import Callable, Optional
 
 from ..cluster import Cluster
 from ..sim import Environment
+from ..telemetry import get_telemetry
 from .container import Container
 from .node_manager import NodeManager
 from .records import (
@@ -341,6 +342,17 @@ class CapacityScheduler:
         self.allocation_log.append(
             (self.env.now, str(app.app_id), node_id, level)
         )
+        telemetry = get_telemetry(self.env)
+        if telemetry is not None:
+            telemetry.event(
+                "yarn.allocation",
+                app=str(app.app_id),
+                container=str(container.container_id),
+                node=node_id,
+                level=level,
+                queue=app.queue,
+            )
+            telemetry.metrics.counter(f"yarn.allocations.{level}").inc()
         if app.on_allocate is not None:
             app.on_allocate(container)
         return container
@@ -386,6 +398,15 @@ class CapacityScheduler:
             candidates.sort(key=lambda t: (t[0], str(t[2].container_id)))
             _, app_id, victim = candidates[-1]
             nm = self.node_managers[victim.node_id]
+            telemetry = get_telemetry(self.env)
+            if telemetry is not None:
+                telemetry.event(
+                    "yarn.preemption",
+                    app=str(app_id),
+                    container=str(victim.container_id),
+                    node=victim.node_id,
+                    queue=victim_queue.name,
+                )
             nm.stop_container(
                 victim.container_id, ContainerExitStatus.PREEMPTED
             )

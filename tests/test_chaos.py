@@ -8,6 +8,7 @@ multi-stage DAG surviving node crashes + a rack outage + lost shuffle
 output with correct results.
 """
 
+import os
 from collections import Counter
 
 import pytest
@@ -436,7 +437,11 @@ def test_acceptance_tpch_style_dag_survives_chaos():
 
 # ========================================================== CI smoke
 def test_chaos_smoke():
-    """Small fast chaos run for CI (selected with ``-k smoke``)."""
+    """Small fast chaos run for CI (selected with ``-k smoke``).
+
+    When ``REPRO_TRACE_JSONL`` is set the run's telemetry timeline is
+    dumped there; CI schema-checks and archives it as an artifact.
+    """
     sim = make_sim(num_nodes=6, nodes_per_rack=3)
     write_kv(sim, "/in", 800)
     dag = two_stage_dag(sim, name="smoke", cpu_per_record=5e-4)
@@ -453,3 +458,8 @@ def test_chaos_smoke():
     for key in ("nodes_lost", "nodes_blacklisted",
                 "lost_node_reexecutions", "faults_injected"):
         assert key in handle.status.metrics
+    trace_path = os.environ.get("REPRO_TRACE_JSONL")
+    if trace_path:
+        from repro.telemetry import write_jsonl
+
+        write_jsonl(sim.timeline, trace_path)
