@@ -2,11 +2,19 @@
 
 Runs as a simulation process: sleeps to each fault's injection time,
 picks victims deterministically (seeded rng over stable candidate
-orderings), applies the fault through the cluster/YARN/shuffle APIs,
-and spawns auto-heal processes for faults with a duration. Everything
-injected is logged in :attr:`ChaosController.injected` and counted per
-kind; the total is mirrored into the driving Tez AM's metrics as
-``faults_injected`` when a client is attached.
+orderings), applies the fault, and spawns auto-heal processes for
+faults with a duration. Everything injected is logged in
+:attr:`ChaosController.injected` and counted per kind; the total is
+mirrored into the driving Tez AM's metrics as ``faults_injected`` when
+a client is attached.
+
+Injection route: when a live Tez AM is attached (via the client), AM
+crashes, node crashes and shuffle-output losses are dispatched onto
+the AM's control-plane bus as typed ``FaultEvent``s — the AM applies
+them itself, so faults are ordered and journaled like every other
+control event. Without an AM (bare-cluster scenarios) the controller
+falls back to the historical direct path through the
+cluster/YARN/shuffle APIs.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from ..cluster import Cluster
 from ..shuffle import ShuffleServices
 from ..sim import Environment
 from ..telemetry import get_telemetry
+from ..tez.am.dispatcher import FaultEvent
 from ..yarn import ContainerExitStatus, ResourceManager
 from .plan import Fault, FaultKind, FaultPlan
 
@@ -80,6 +89,18 @@ class ChaosController:
 
         self.env.process(heal_process(), name=name)
 
+    def _live_am(self):
+        """The attached client's current AM, when it is still
+        registered and carries a control-plane dispatcher."""
+        am = getattr(self.client, "last_am", None)
+        if (
+            am is not None
+            and not am.ctx.unregistered
+            and getattr(am, "dispatcher", None) is not None
+        ):
+            return am
+        return None
+
     # ------------------------------------------------------ victim picking
     def _am_node_ids(self) -> set[str]:
         return {
@@ -140,7 +161,13 @@ class ChaosController:
         node_id = fault.node or self._pick_node()
         if node_id is None or not self.cluster.nodes[node_id].alive:
             return
-        self.cluster.crash_node(node_id)
+        am = self._live_am()
+        if am is not None:
+            am.dispatcher.dispatch(
+                FaultEvent(kind="node_crash", target=node_id)
+            )
+        else:
+            self.cluster.crash_node(node_id)
         self._record(fault, node_id)
         if fault.duration is not None:
             self._heal_later(
@@ -223,7 +250,14 @@ class ChaosController:
                 for spill_id in service.spill_ids():
                     if fault.pattern and fault.pattern not in spill_id:
                         continue
-                    service.drop_spill(spill_id)
+                    am = self._live_am()
+                    if am is not None:
+                        am.dispatcher.dispatch(FaultEvent(
+                            kind="shuffle_output_loss",
+                            target=(service, spill_id),
+                        ))
+                    else:
+                        service.drop_spill(spill_id)
                     self._record(fault, f"{spill_id}@{node_id}")
                     dropped += 1
                     if dropped >= fault.count:
@@ -233,10 +267,17 @@ class ChaosController:
             yield self.env.timeout(0.25)
 
     def _inject_am_crash(self, fault: Fault) -> None:
+        am = self._live_am()
+        if am is not None:
+            node_id = am.ctx.am_container.node_id
+            am.dispatcher.dispatch(FaultEvent(kind="am_crash"))
+            self._record(fault, f"am@{node_id}")
+            return
+        # No dispatcher-carrying AM attached: direct YARN path.
         ctx = None
-        am = getattr(self.client, "last_am", None)
-        if am is not None and not am.ctx.unregistered:
-            ctx = am.ctx
+        legacy_am = getattr(self.client, "last_am", None)
+        if legacy_am is not None and not legacy_am.ctx.unregistered:
+            ctx = legacy_am.ctx
         if ctx is None:
             for app_id in sorted(self.rm._contexts, key=str):
                 ctx = self.rm._contexts[app_id]

@@ -1,0 +1,148 @@
+"""Static transition-table auditor (used by CI).
+
+Usage::
+
+    python -m repro.tez.am.check [--report PATH]
+
+Loads the shipped control-plane tables (:data:`TABLES` in
+``state_machines.py``) and verifies, per machine:
+
+* **totality** — every ``(state, event)`` cell is explicitly a
+  transition, an ignore, or an invalid combination; no accidental gaps;
+* **reachability** — every declared state is reachable from the
+  initial state via transitions;
+* **absorbing terminals** — no transition leaves a declared terminal
+  state (attempt SUCCEEDED/FAILED/KILLED; task/vertex/dag
+  FAILED/KILLED — success is revocable above the attempt level);
+* **hook resolution** — every ``action`` / ``guard`` named by a
+  transition resolves to a callable on its handler class
+  (:data:`HANDLER_SPECS`).
+
+Exits 0 on a sound table set, 1 otherwise (problems printed one per
+line). ``--report PATH`` additionally writes the full audit report for
+CI artifact archival.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+from typing import Any
+
+from .state_machines import HANDLER_SPECS, TABLES, TransitionTable
+
+__all__ = ["audit_table", "audit_all", "main"]
+
+
+def _name(state: Any) -> str:
+    return getattr(state, "value", str(state))
+
+
+def audit_table(table: TransitionTable,
+                handler_cls: Any = None) -> list[str]:
+    """Return a list of soundness problems (empty == sound)."""
+    problems: list[str] = []
+    kind = table.kind
+
+    # 1. Totality: every (state, event) cell explicitly specified.
+    for gap in table.is_total():
+        problems.append(f"{kind}: unspecified cell {gap}")
+
+    # 2. Reachability from the initial state.
+    reachable = {table.initial}
+    frontier = [table.initial]
+    while frontier:
+        state = frontier.pop()
+        for tr in table.transitions:
+            if state in tr.sources and tr.target not in reachable:
+                reachable.add(tr.target)
+                frontier.append(tr.target)
+    for state in table.states:
+        if state not in reachable:
+            problems.append(f"{kind}: state {_name(state)} unreachable "
+                            f"from {_name(table.initial)}")
+
+    # 3. Terminal states absorb: no outgoing transitions.
+    for tr in table.transitions:
+        for source in tr.sources:
+            if source in table.terminals:
+                problems.append(
+                    f"{kind}: terminal state {_name(source)} has outgoing "
+                    f"transition {tr.event!r} -> {_name(tr.target)}"
+                )
+
+    # 4. Every action/guard resolves to a callable on the handler.
+    if handler_cls is not None:
+        for tr in table.transitions:
+            for role in ("action", "guard"):
+                hook = getattr(tr, role)
+                if hook is None:
+                    continue
+                if not callable(getattr(handler_cls, hook, None)):
+                    problems.append(
+                        f"{kind}: {role} {hook!r} (event {tr.event!r}) "
+                        f"missing on {handler_cls.__name__}"
+                    )
+    return problems
+
+
+def _load_handlers() -> tuple[dict, list[str]]:
+    handlers: dict[str, Any] = {}
+    problems: list[str] = []
+    for kind, (module_name, class_name) in HANDLER_SPECS.items():
+        try:
+            module = importlib.import_module(module_name)
+            handlers[kind] = getattr(module, class_name)
+        except (ImportError, AttributeError) as exc:
+            problems.append(f"{kind}: handler {module_name}.{class_name} "
+                            f"unloadable: {exc}")
+    return handlers, problems
+
+
+def audit_all() -> tuple[list[str], list[str]]:
+    """Audit every shipped table. Returns (report lines, problems)."""
+    handlers, problems = _load_handlers()
+    report: list[str] = []
+    for kind, table in TABLES.items():
+        cells = len(table.states) * len(table.events)
+        hooks = sorted({
+            h for tr in table.transitions
+            for h in (tr.action, tr.guard) if h
+        })
+        report.append(
+            f"{kind}: {len(table.states)} states, {len(table.events)} "
+            f"events, {len(table.transitions)} transitions, {cells} cells, "
+            f"terminals={{{', '.join(_name(s) for s in sorted(table.terminals, key=_name))}}}"
+            + (f", hooks={hooks}" if hooks else "")
+        )
+        problems.extend(audit_table(table, handlers.get(kind)))
+    return report, problems
+
+
+def main(argv: list[str]) -> int:
+    report_path = None
+    if argv[:1] == ["--report"]:
+        if len(argv) < 2:
+            print("usage: python -m repro.tez.am.check [--report PATH]",
+                  file=sys.stderr)
+            return 2
+        report_path = argv[1]
+    elif argv:
+        print("usage: python -m repro.tez.am.check [--report PATH]",
+              file=sys.stderr)
+        return 2
+
+    report, problems = audit_all()
+    verdict = ("ok: all transition tables sound" if not problems
+               else f"UNSOUND: {len(problems)} problem(s)")
+    lines = report + problems + [verdict]
+    for line in lines:
+        print(line)
+    if report_path:
+        with open(report_path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main(sys.argv[1:]))

@@ -1,12 +1,15 @@
 """The Tez DAG ApplicationMaster (paper sections 3 & 4).
 
-Orchestrates DAG execution on YARN: expands the logical DAG into tasks
-(Figure 2), runs input initializers and vertex managers, routes
-control-plane events along edge-manager routing tables, schedules tasks
-with locality and container reuse, recovers from task/node failures by
-re-execution (walking the DAG back on InputReadError until stable data
-is found), speculates against stragglers, detects and preempts
-scheduling deadlocks, and commits data sinks exactly once.
+A thin facade over the event-driven control plane: the
+:class:`~repro.tez.am.dispatcher.Dispatcher` carries every typed
+control event, the declarative machines in ``state_machines.py`` own
+all state transitions, and the focused components carry the logic —
+``vertex_lifecycle``, ``attempt_runner``, ``event_router``,
+``speculation`` and ``recovery``. This class wires them together, runs
+DAG-level orchestration (`execute_dag`, commit/abort, fail/complete
+sweeps) and keeps the public surface (`execute_dag`, ``.metrics``,
+:class:`DAGStatus`, the scheduler contract) stable for engines,
+benchmarks and chaos.
 
 The AM is *not* on the data plane: task inputs/outputs move data
 directly against HDFS and the shuffle service; the AM only routes
@@ -16,172 +19,42 @@ metadata events, charged with heartbeat latency.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Generator, Optional
+from typing import Generator, Optional
 
 from ...cluster import Node
-from ...sim import Environment, Interrupt, Store
+from ...sim import Environment
 from ...telemetry import MetricsRegistry, get_telemetry
-from ...yarn import AMContext, Container, Resource
-from ..committer import CommitterContext, OutputCommitter
+from ...yarn import AMContext, ContainerExitStatus
+from ..committer import CommitterContext
 from ..config import TezConfig
-from ..dag import (
-    DAG,
-    DataMovementType,
-    DataSourceType,
-    Descriptor,
-    Edge,
-    SchedulingType,
+from ..dag import DAG
+from ..runtime import FrameworkServices
+from .attempt_runner import BASE_TASK_PRIORITY, AttemptRunner
+from .dispatcher import (
+    AttemptExitedEvent,
+    DataDeliveryEvent,
+    Dispatcher,
+    FaultEvent,
+    NodeLostEvent,
+    StateTransitionEvent,
+    TaskUplinkEvent,
 )
-from ..edge_manager import (
-    BroadcastEdgeManager,
-    EdgeManagerPlugin,
-    OneToOneEdgeManager,
-    ScatterGatherEdgeManager,
-)
-from ..events import (
-    CompositeDataMovementEvent,
-    DataMovementEvent,
-    InputInitializerEvent,
-    InputReadErrorEvent,
-    TezEvent,
-    VertexManagerEvent,
-)
-from ..initializer import InitializerContext, InputSplit
-from ..registry import ObjectRegistry, Scope
-from ..runtime import (
-    FrameworkServices,
-    InputSpec,
-    OutputSpec,
-    TaskContext,
-    TaskSpec,
-)
-from ..vertex_manager import (
-    ImmediateStartVertexManager,
-    InputReadyVertexManager,
-    RootInputVertexManager,
-    ShuffleVertexManager,
-    VertexManagerContext,
-)
+from .event_router import EventRouter
+from .recovery import RecoveryLog, RecoveryService
+from .speculation import DeadlockMonitor, SpeculationMonitor
+from .state_machines import MachineSet
+from .status import DAGStatus
 from .structures import (
     AttemptEndReason,
-    AttemptState,
     DAGState,
-    Task,
-    TaskAttempt,
-    TaskState,
     VertexRuntime,
     VertexState,
 )
-from .task_scheduler import TaskRequest, TaskSchedulerService
+from .task_scheduler import TaskSchedulerService
+from .vertex_lifecycle import DagAbort, VertexLifecycle
+from .vm_context import _VMContext
 
 __all__ = ["DAGAppMaster", "DAGStatus", "RecoveryLog", "DagAbort"]
-
-BASE_TASK_PRIORITY = 3
-
-
-class DagAbort(Exception):
-    """Internal: the DAG cannot make progress."""
-
-
-@dataclass
-class DAGStatus:
-    name: str
-    state: DAGState
-    start_time: float
-    finish_time: float
-    diagnostics: str = ""
-    metrics: dict = field(default_factory=dict)
-
-    @property
-    def elapsed(self) -> float:
-        return self.finish_time - self.start_time
-
-    @property
-    def succeeded(self) -> bool:
-        return self.state == DAGState.SUCCEEDED
-
-
-class RecoveryLog:
-    """AM checkpoint journal (paper 4.3): survives AM restarts.
-
-    Records task successes with their routed events so a restarted AM
-    attempt does not re-run completed work.
-    """
-
-    def __init__(self):
-        self._successes: dict[str, dict[tuple[str, int], list]] = {}
-        self._finished_dags: set[str] = set()
-
-    def record_success(self, dag_name: str, vertex: str, index: int,
-                       events: list, node_id: str) -> None:
-        self._successes.setdefault(dag_name, {})[(vertex, index)] = (
-            events, node_id
-        )
-
-    def invalidate(self, dag_name: str, vertex: str, index: int) -> None:
-        self._successes.get(dag_name, {}).pop((vertex, index), None)
-
-    def record_dag_finished(self, dag_name: str) -> None:
-        self._finished_dags.add(dag_name)
-        self._successes.pop(dag_name, None)
-
-    def dag_finished(self, dag_name: str) -> bool:
-        return dag_name in self._finished_dags
-
-    def successes(self, dag_name: str) -> dict[tuple[str, int], tuple]:
-        return dict(self._successes.get(dag_name, {}))
-
-
-class _VMContext(VertexManagerContext):
-    """Bridges a VertexManagerPlugin to the AM internals."""
-
-    def __init__(self, am: "DAGAppMaster", vr: VertexRuntime):
-        self._am = am
-        self._vr = vr
-
-    @property
-    def vertex_name(self) -> str:
-        return self._vr.name
-
-    @property
-    def vertex_parallelism(self) -> int:
-        return self._vr.parallelism
-
-    def source_vertices(self) -> list[str]:
-        return [e.source.name for e in self._vr.in_edges
-                if e.prop.scheduling == SchedulingType.SEQUENTIAL]
-
-    def edge_types(self) -> dict[str, str]:
-        return {
-            e.source.name: e.prop.data_movement.value
-            for e in self._vr.in_edges
-        }
-
-    def source_parallelism(self, vertex_name: str) -> int:
-        return self._am._vertices[vertex_name].parallelism
-
-    def completed_source_tasks(self, vertex_name: str) -> int:
-        src = self._am._vertices[vertex_name]
-        return sum(1 for t in src.tasks if t.state == TaskState.SUCCEEDED)
-
-    def source_locked(self, vertex_name: str) -> bool:
-        """True once the source's parallelism can no longer change
-        (Tez's vertex-CONFIGURED notification)."""
-        return self._am._vertices[vertex_name].parallelism_locked
-
-    def set_parallelism(self, parallelism: int) -> None:
-        self._am._reconfigure_parallelism(self._vr, parallelism)
-
-    def schedule_tasks(self, task_indices: list[int]) -> None:
-        self._am._schedule_tasks(self._vr, task_indices)
-
-    def scheduled_tasks(self) -> set[int]:
-        return set(self._vr.scheduled)
-
-    def user_payload(self) -> Any:
-        desc = self._vr.vertex.vertex_manager
-        return desc.payload if desc else None
 
 
 class DAGAppMaster:
@@ -202,18 +75,16 @@ class DAGAppMaster:
         self.recovery = recovery
         ctx.register()
         services.job_token = ctx.rm.security.issue("JOB", str(ctx.app_id))
-        # Per-AM metrics registry: the scheduler's counters, the legacy
-        # session metrics and the per-task counters all live here, so
-        # DAG-scoped views are snapshot/delta over one source of truth.
+        # Per-AM metrics registry: scheduler, session and task counters
+        # in one place; DAG-scoped views are snapshot/delta over it.
         self.registry = MetricsRegistry()
         self.scheduler = TaskSchedulerService(
             self.env, ctx, self.config, self._attempt_body,
             self._attempt_exit, registry=self.registry,
         )
         ctx.on_node_loss(self._on_node_loss)
-        # Node blacklisting (paper 4.3): per-node failure accounting
-        # survives across DAGs in a session — a flaky machine stays
-        # flaky between DAG submissions.
+        # Node blacklisting (paper 4.3): failure accounting survives
+        # across a session's DAGs — a flaky machine stays flaky.
         self._node_failures: dict[str, int] = {}
         self.blacklisted_nodes: set[str] = set()
         self.blacklisting_disabled = False
@@ -222,15 +93,37 @@ class DAGAppMaster:
         self._dag_seq = itertools.count(1)
         self._dag_id = ""
         self._dag_state = DAGState.NEW
+        self._dag_machine = None
         self._dag_done = None            # sim Event
         self._dag_diagnostics = ""
-        self._edge_managers: dict[tuple[str, str], EdgeManagerPlugin] = {}
-        self._init_contexts: dict[tuple[str, str], InitializerContext] = {}
+        self._edge_managers = {}
+        self._init_contexts = {}
         self._monitors: list = []
         self._dag_span = None
-        # Aggregate metrics across DAGs (session-wide). `metrics` is a
-        # dict-compatible live view over the registry's counters, so
-        # historical `am.metrics[...]` call sites keep working.
+        # Control plane: one dispatcher, one machine factory, and the
+        # components carved out of the historical monolith.
+        self.dispatcher = Dispatcher(self.env, name=str(ctx.app_id))
+        self.machines = MachineSet(self.dispatcher)
+        self.lifecycle = VertexLifecycle(self)
+        self.runner = AttemptRunner(self)
+        self.router = EventRouter(self)
+        self.recovery_service = RecoveryService(self)
+        self.speculation = SpeculationMonitor(self)
+        self.deadlock = DeadlockMonitor(self)
+        self.machines.bind("vertex", self.lifecycle)
+        self.machines.bind("task", self.runner)
+        self.machines.bind("attempt", self.runner)
+        self.machines.bind("dag", self)
+        self.dispatcher.register(StateTransitionEvent, self._on_transition)
+        self.dispatcher.register(AttemptExitedEvent,
+                                 self.runner.on_attempt_exited)
+        self.dispatcher.register(TaskUplinkEvent, self.router.on_task_uplink)
+        self.dispatcher.register(DataDeliveryEvent,
+                                 self.router.on_data_delivery)
+        self.dispatcher.register(NodeLostEvent, self._on_node_lost_event)
+        self.dispatcher.register(FaultEvent, self._on_fault)
+        # Session-wide counters; `metrics` is a dict-compatible live
+        # view, so historical `am.metrics[...]` call sites keep working.
         for key in (
             "tasks_succeeded",
             "attempts_failed",
@@ -239,7 +132,6 @@ class DAGAppMaster:
             "speculative_wins",
             "reexecutions",
             "preemptions",
-            # Resilience / chaos accounting.
             "nodes_lost",
             "nodes_blacklisted",
             "lost_node_reexecutions",
@@ -262,15 +154,16 @@ class DAGAppMaster:
         start = self.env.now
         self._dag = dag
         self._dag_id = f"{dag.name}#{next(self._dag_seq)}"
-        self._dag_state = DAGState.RUNNING
+        self._dag_state = DAGState.NEW
+        self._dag_machine = self.machines.dag(self, self._dag_id)
+        self._dag_machine.fire("run")
         self._dag_done = self.env.event()
         self._dag_diagnostics = ""
         self._vertices = {}
         self._edge_managers = {}
         self._init_contexts = {}
         self.scheduler.session_waiting = False
-        # Per-DAG scoping: everything in the registry (legacy metrics,
-        # scheduler counters, task counters) is deltaed against this.
+        # Per-DAG scoping: the whole registry is deltaed against this.
         base_counters = self.registry.snapshot()
 
         depths = dag.vertex_depths()
@@ -282,7 +175,7 @@ class DAGAppMaster:
             self._vertices[edge.source.name].out_edges.append(edge)
             self._vertices[edge.target.name].in_edges.append(edge)
             self._edge_managers[(edge.source.name, edge.target.name)] = (
-                self._create_edge_manager(edge)
+                self.lifecycle.create_edge_manager(edge)
             )
 
         telemetry = get_telemetry(self.env)
@@ -291,6 +184,7 @@ class DAGAppMaster:
             self._dag_span = telemetry.span(
                 "dag", dag.name, parent=self.session_span,
                 dag=self._dag_id, dag_name=dag.name,
+                state=self._dag_state.value,
             )
             telemetry.event(
                 "am.dag_submitted",
@@ -304,30 +198,26 @@ class DAGAppMaster:
                 ],
             )
 
-        recovered = (
-            self.recovery.successes(dag.name) if self.recovery else {}
-        )
+        recovered = self.recovery_service.recovered_work(dag.name)
 
         # Start monitors.
         self._monitors = []
         if self.config.speculation_enabled:
             self._monitors.append(
-                self.env.process(self._speculation_monitor(),
+                self.env.process(self.speculation.run(),
                                  name="tez-speculation")
             )
         self._monitors.append(
-            self.env.process(self._deadlock_monitor(), name="tez-deadlock")
+            self.env.process(self.deadlock.run(), name="tez-deadlock")
         )
 
-        # Each vertex initializes and starts asynchronously: vertices
-        # whose initializers wait on runtime events (pruning) or whose
-        # parallelism derives from a source must not block the rest of
-        # the DAG from running (paper 3.5).
+        # Vertices initialize and start asynchronously: initializers
+        # waiting on runtime events must not block the DAG (paper 3.5).
         for vertex in dag.topological_order():
             vr = self._vertices[vertex.name]
             vr.inited_event = self.env.event()
             self.env.process(
-                self._init_and_start(vr, recovered),
+                self.lifecycle.init_and_start(vr, recovered),
                 name=f"vinit:{vertex.name}",
             )
         try:
@@ -354,9 +244,8 @@ class DAGAppMaster:
             finish_time=finish,
             diagnostics=self._dag_diagnostics,
             metrics={
-                # Legacy session metrics are the un-namespaced keys;
-                # namespaced counters (scheduler.*, task.*) surface via
-                # their dedicated entries below.
+                # Un-namespaced keys are the legacy session metrics;
+                # scheduler.*/task.* surface via the entries below.
                 **{k: v for k, v in delta.items() if "." not in k},
                 "containers_launched":
                     delta.get("scheduler.containers_launched", 0),
@@ -389,962 +278,87 @@ class DAGAppMaster:
         self.scheduler.session_waiting = True
         return status
 
-    # -------------------------------------------------- vertex initialization
-    def _create_edge_manager(self, edge: Edge) -> EdgeManagerPlugin:
-        prop = edge.prop
-        if prop.edge_manager_descriptor is not None:
-            manager = prop.edge_manager_descriptor.cls(
-                prop.edge_manager_descriptor.payload
-            )
-        elif prop.data_movement == DataMovementType.ONE_TO_ONE:
-            manager = OneToOneEdgeManager()
-        elif prop.data_movement == DataMovementType.BROADCAST:
-            manager = BroadcastEdgeManager()
-        elif prop.data_movement == DataMovementType.SCATTER_GATHER:
-            manager = ScatterGatherEdgeManager()
-        else:
-            raise ValueError(
-                f"edge {edge}: CUSTOM movement requires a manager"
-            )
-        return manager
+    # -------------------------------------------------- dispatcher glue
+    def _attempt_body(self, attempt, container) -> Generator:
+        return self.runner.attempt_body(attempt, container)
 
-    def _edge_manager(self, edge: Edge) -> EdgeManagerPlugin:
-        return self._edge_managers[(edge.source.name, edge.target.name)]
-
-    def _sync_edge_parallelism(self, edge: Edge) -> None:
-        manager = self._edge_manager(edge)
-        manager.source_parallelism = self._vertices[
-            edge.source.name
-        ].parallelism
-        manager.dest_parallelism = self._vertices[
-            edge.target.name
-        ].parallelism
-
-    def _init_and_start(self, vr: VertexRuntime, recovered: dict) -> Generator:
-        try:
-            yield from self._initialize_vertex(vr)
-        except (DagAbort, Exception) as exc:
-            if not vr.inited_event.triggered:
-                vr.inited_event.succeed()
-            self._fail_dag(
-                f"vertex {vr.name} failed to initialize: {exc}"
-            )
-            return
-        if not vr.inited_event.triggered:
-            vr.inited_event.succeed()
-        if self._dag_state == DAGState.RUNNING:
-            self._start_vertex(vr, recovered)
-            self._check_dag_done()
-
-    def _initialize_vertex(self, vr: VertexRuntime) -> Generator:
-        vr.state = VertexState.INITIALIZING
-        vertex = vr.vertex
-        # Run root-input initializers (possibly waiting on events from
-        # other vertices, e.g. dynamic partition pruning).
-        for input_name, source in vertex.data_sources.items():
-            if source.initializer_descriptor is None:
-                vr.initialized_inputs.add(input_name)
-                continue
-            ictx = InitializerContext(
-                self.env, self.services.hdfs, self.services.cluster,
-                vr.name, input_name, vr.parallelism,
-            )
-            self._init_contexts[(vr.name, input_name)] = ictx
-            initializer = source.initializer_descriptor.cls(
-                ictx, source.initializer_descriptor.payload
-            )
-            splits = yield self.env.process(
-                initializer.initialize(),
-                name=f"init:{vr.name}:{input_name}",
-            )
-            vr.root_splits[input_name] = list(splits)
-            vr.initialized_inputs.add(input_name)
-            # Runtime split calculation overrides any preset
-            # parallelism: the initializer has the accurate picture.
-            vr.parallelism = max(1, len(splits))
-        if vr.parallelism == -1:
-            # Inherit from a one-to-one source; wait for its own
-            # (possibly initializer-driven) resolution first.
-            for edge in vr.in_edges:
-                if edge.prop.data_movement == DataMovementType.ONE_TO_ONE:
-                    src = self._vertices[edge.source.name]
-                    if src.parallelism == -1:
-                        yield src.inited_event
-                    if src.parallelism > 0:
-                        vr.parallelism = src.parallelism
-                        break
-        if vr.parallelism == -1:
-            raise DagAbort(
-                f"vertex {vr.name}: could not resolve parallelism"
-            )
-        for split_list in vr.root_splits.values():
-            if len(split_list) not in (0, vr.parallelism):
-                raise DagAbort(
-                    f"vertex {vr.name}: initializer produced "
-                    f"{len(split_list)} splits but parallelism is "
-                    f"{vr.parallelism}"
-                )
-        vr.create_tasks()
-        # Root-split locality hints.
-        for input_name, split_list in vr.root_splits.items():
-            for task, split in zip(vr.tasks, split_list):
-                task.location_nodes = tuple(split.preferred_nodes)
-        if vertex.location_hints:
-            for task, hint in zip(vr.tasks, vertex.location_hints):
-                task.location_nodes = tuple(hint.nodes)
-                task.location_racks = tuple(hint.racks)
-        for edge in vr.in_edges + vr.out_edges:
-            self._sync_edge_parallelism(edge)
-        vr.manager = self._create_vertex_manager(vr)
-        vr.manager.initialize()
-        for input_name in vr.root_splits:
-            vr.manager.on_root_input_initialized(
-                input_name, len(vr.root_splits[input_name])
-            )
-        vr.state = VertexState.INITED
-
-    def _create_vertex_manager(self, vr: VertexRuntime):
-        vmctx = _VMContext(self, vr)
-        descriptor = vr.vertex.vertex_manager
-        if descriptor is not None:
-            return descriptor.cls(vmctx, descriptor.payload)
-        # Defaults mirror Tez's selection by vertex characteristics.
-        sequential_in = [
-            e for e in vr.in_edges
-            if e.prop.scheduling == SchedulingType.SEQUENTIAL
-        ]
-        if not sequential_in:
-            if vr.vertex.data_sources:
-                return RootInputVertexManager(vmctx)
-            return ImmediateStartVertexManager(vmctx)
-        if any(
-            e.prop.data_movement == DataMovementType.SCATTER_GATHER
-            for e in sequential_in
-        ):
-            return ShuffleVertexManager(vmctx)
-        return InputReadyVertexManager(vmctx)
-
-    def _start_vertex(self, vr: VertexRuntime, recovered: dict) -> None:
-        vr.state = VertexState.RUNNING
-        vr.start_time = self.env.now
-        telemetry = get_telemetry(self.env)
-        if telemetry is not None:
-            vr.telemetry_span = telemetry.span(
-                "vertex", vr.name, parent=self._dag_span,
-                dag=vr.dag_id, vertex=vr.name,
-                parallelism=vr.parallelism,
-            )
-            telemetry.event(
-                "am.vertex_state", dag=vr.dag_id, vertex=vr.name,
-                state=vr.state.value,
-            )
-        # Replay recovered successes (AM restart): mark tasks done and
-        # re-route their recorded events without re-running them.
-        for (vertex_name, index), (events, node_id) in recovered.items():
-            if vertex_name != vr.name or index >= len(vr.tasks):
-                continue
-            task = vr.tasks[index]
-            attempt = task.new_attempt()
-            attempt.state = AttemptState.SUCCEEDED
-            attempt.node_id = node_id
-            task.state = TaskState.SUCCEEDED
-            task.succeeded_attempt = attempt
-            task.output_version = attempt.number
-            task.output_events = list(events)
-            vr.scheduled.add(index)
-            vr.completed_tasks += 1
-        if vr.scheduled:
-            vr.parallelism_locked = True
-        vr.manager.on_vertex_started()
-        # Replay anything that happened before this vertex had a
-        # manager: upstream completions (fast sources can finish while
-        # a slow initializer is still running) and buffered
-        # VertexManagerEvents. Managers treat these idempotently.
-        for edge in vr.in_edges:
-            source = self._vertices[edge.source.name]
-            for task in source.tasks:
-                if task.state == TaskState.SUCCEEDED:
-                    vr.manager.on_source_task_completed(
-                        source.name, task.index
-                    )
-        for event in vr.pending_vm_events:
-            vr.manager.on_vertex_manager_event(event)
-        vr.pending_vm_events = []
-        # Notify managers downstream of recovered completions.
-        for task in vr.tasks:
-            if task.state == TaskState.SUCCEEDED:
-                self._route_events(vr, task, task.output_events)
-                self._notify_downstream_completion(vr, task)
-
-    # -------------------------------------------------- scheduling
-    def _reconfigure_parallelism(self, vr: VertexRuntime,
-                                 parallelism: int) -> None:
-        vr.set_parallelism(parallelism)
-        for edge in vr.in_edges + vr.out_edges:
-            self._sync_edge_parallelism(edge)
-
-    def _schedule_tasks(self, vr: VertexRuntime,
-                        indices: list[int]) -> None:
-        if self._dag_state != DAGState.RUNNING:
-            return
-        if not vr.scheduled:
-            vr.parallelism_locked = True
-            # First scheduling of this vertex pins the physical
-            # partition counts its producers-side edges use.
-            for edge in vr.out_edges:
-                manager = self._edge_manager(edge)
-                if isinstance(manager, ScatterGatherEdgeManager):
-                    self._sync_edge_parallelism(edge)
-                    manager.freeze_partitions()
-        for index in indices:
-            if index in vr.scheduled or index >= len(vr.tasks):
-                continue
-            vr.scheduled.add(index)
-            task = vr.tasks[index]
-            if task.state == TaskState.SUCCEEDED:
-                continue  # recovered
-            task.state = TaskState.SCHEDULED
-            self._launch_attempt(task)
-
-    def _task_priority(self, task: Task, speculative: bool = False) -> int:
-        # Upstream vertices get (numerically) higher priority; the +1
-        # slot is left for speculative attempts of the previous wave.
-        pri = BASE_TASK_PRIORITY + task.vertex.depth * 2
-        return pri + (1 if speculative else 0)
-
-    def _task_locality(self, task: Task) -> tuple[tuple, tuple]:
-        if task.location_nodes or task.location_racks:
-            return tuple(task.location_nodes), tuple(task.location_racks)
-        # One-to-one inputs: prefer co-location with the source task.
-        for edge in task.vertex.in_edges:
-            if edge.prop.data_movement == DataMovementType.ONE_TO_ONE:
-                src = self._vertices[edge.source.name]
-                if task.index < len(src.tasks):
-                    src_task = src.tasks[task.index]
-                    if src_task.succeeded_attempt is not None and \
-                            src_task.succeeded_attempt.node_id:
-                        return ((src_task.succeeded_attempt.node_id,), ())
-        return ((), ())
-
-    def _launch_attempt(self, task: Task,
-                        speculative: bool = False) -> TaskAttempt:
-        attempt = task.new_attempt(is_speculative=speculative)
-        attempt.state = AttemptState.QUEUED
-        attempt.start_time = self.env.now
-        telemetry = get_telemetry(self.env)
-        if telemetry is not None:
-            attempt.telemetry_span = telemetry.span(
-                "attempt", attempt.attempt_id,
-                parent=getattr(task.vertex, "telemetry_span", None),
-                dag=task.vertex.dag_id,
-                vertex=task.vertex.name,
-                index=task.index,
-                attempt=attempt.attempt_id,
-                speculative=speculative,
-            )
-        if speculative:
-            self.metrics["speculative_attempts"] += 1
-        nodes, racks = self._task_locality(task)
-        vertex = task.vertex.vertex
-        request = TaskRequest(
-            attempt,
-            priority=self._task_priority(task, speculative),
-            capability=Resource(vertex.resource_mb, vertex.resource_vcores),
-            nodes=nodes,
-            racks=racks,
-        )
-        self.scheduler.schedule(request)
-        return attempt
-
-    # -------------------------------------------------- task execution body
-    def _attempt_body(self, attempt: TaskAttempt,
-                      container: Container) -> Generator:
-        """Runs inside the container: the IPO composition of one task."""
-        task = attempt.task
-        vr = task.vertex
-        attempt.state = AttemptState.RUNNING
-        attempt.launch_time = self.env.now
-        span = getattr(attempt, "telemetry_span", None)
-        if span is not None:
-            span.attrs["launched"] = self.env.now
-            span.attrs["node"] = attempt.node_id
-            span.attrs["container"] = str(container.container_id)
-        if task.state == TaskState.SCHEDULED:
-            task.state = TaskState.RUNNING
-        spec = self._build_task_spec(task, attempt)
-        registry = getattr(container, "tez_registry", None)
-        if registry is None:
-            registry = ObjectRegistry()
-            container.tez_registry = registry
-        self._scrub_registry(registry, vr)
-        task_ctx = TaskContext(
-            self.services, spec, container, registry,
-            send_event=lambda ev, a=attempt: self._event_from_task(a, ev),
-        )
-        task_ctx.dag_scope_id = self._dag_id
-        task_ctx.vertex_scope_id = f"{self._dag_id}/{vr.name}"
-        task_ctx.session_scope_id = str(self.ctx.app_id)
-
-        inputs = {}
-        for ispec in spec.inputs:
-            cls = ispec.descriptor.cls
-            inputs[ispec.source_name] = cls(
-                task_ctx, ispec, ispec.descriptor.payload
-            )
-        outputs = {}
-        for ospec in spec.outputs:
-            cls = ospec.descriptor.cls
-            outputs[ospec.target_name] = cls(
-                task_ctx, ospec, ospec.descriptor.payload
-            )
-        processor = spec.processor_descriptor.cls(
-            task_ctx, spec.processor_descriptor.payload
-        )
-
-        for entity in [*inputs.values(), *outputs.values(), processor]:
-            yield self.env.process(
-                entity.initialize(), name=f"io-init:{attempt.attempt_id}"
-            )
-
-        # Deliver buffered events routed to this task, then keep
-        # pumping live events for the attempt's lifetime.
-        attempt.event_store = Store(self.env)
-        for event in self._snapshot_events(task):
-            self._dispatch_to_input(inputs, event)
-        pump = self.env.process(
-            self._event_pump(attempt, inputs),
-            name=f"pump:{attempt.attempt_id}",
-        )
-        try:
-            yield self.env.process(
-                processor.run(inputs, outputs),
-                name=f"proc:{attempt.attempt_id}",
-            )
-            out_events: list[TezEvent] = []
-            for output in outputs.values():
-                events = yield self.env.process(
-                    output.close(), name=f"close:{attempt.attempt_id}"
-                )
-                out_events.extend(events or [])
-            attempt.counters = dict(task_ctx.counters)
-            attempt._pending_success_events = out_events
-            # Completion reaches the AM on the next heartbeat.
-            yield self.env.timeout(self.spec.heartbeat_interval / 2)
-        finally:
-            if pump.is_alive:
-                pump.interrupt("attempt finished")
-
-    def _event_pump(self, attempt: TaskAttempt, inputs: dict) -> Generator:
-        try:
-            while True:
-                event = yield attempt.event_store.get()
-                self._dispatch_to_input(inputs, event)
-        except Interrupt:
-            return
-
-    def _dispatch_to_input(self, inputs: dict, event: TezEvent) -> None:
-        source = getattr(event, "source_vertex", None)
-        if source is not None and source in inputs:
-            inputs[source].handle_event(event)
-
-    def _build_task_spec(self, task: Task, attempt: TaskAttempt) -> TaskSpec:
-        vr = task.vertex
-        vertex = vr.vertex
-        input_specs = []
-        for edge in vr.in_edges:
-            manager = self._edge_manager(edge)
-            input_specs.append(InputSpec(
-                edge.source.name,
-                edge.prop.input_descriptor,
-                manager.num_dest_physical_inputs(task.index),
-            ))
-        for input_name, source in vertex.data_sources.items():
-            split_payload = None
-            splits = vr.root_splits.get(input_name)
-            if splits and task.index < len(splits):
-                split_payload = splits[task.index].payload
-            input_specs.append(InputSpec(
-                input_name,
-                source.input_descriptor,
-                1,
-                extra=split_payload,
-            ))
-        output_specs = []
-        for edge in vr.out_edges:
-            manager = self._edge_manager(edge)
-            output_specs.append(OutputSpec(
-                edge.target.name,
-                edge.prop.output_descriptor,
-                manager.num_source_physical_outputs(task.index),
-            ))
-        for sink_name, sink in vertex.data_sinks.items():
-            output_specs.append(OutputSpec(
-                sink_name, sink.output_descriptor, 1
-            ))
-        return TaskSpec(
-            # The session-unique DAG id: spill ids and staging paths
-            # derived from attempt ids must not collide when a session
-            # runs same-named DAGs (e.g. iterative workloads).
-            dag_name=self._dag_id,
-            vertex_name=vr.name,
-            task_index=task.index,
-            attempt=attempt.number,
-            processor_descriptor=vertex.processor,
-            inputs=input_specs,
-            outputs=output_specs,
-            parallelism=vr.parallelism,
-            user_payload=vertex.processor.payload,
-        )
-
-    def _scrub_registry(self, registry: ObjectRegistry,
-                        vr: VertexRuntime) -> None:
-        """Lazy scope cleanup: entries from other DAGs/vertices die when
-        a task from a different scope reuses the container."""
-        keep_vertex = f"{self._dag_id}/{vr.name}"
-        stale = [
-            key for key, (scope, scope_id, _v) in registry._entries.items()
-            if (scope == Scope.DAG and scope_id != self._dag_id)
-            or (scope == Scope.VERTEX and scope_id != keep_vertex)
-        ]
-        for key in stale:
-            registry._entries.pop(key, None)
-
-    def _snapshot_events(self, task: Task) -> list[DataMovementEvent]:
-        """Buffered DMEs routed to this task, resolved via the current
-        edge-manager routing (supports auto-reduced parallelism)."""
-        vr = task.vertex
-        out: list[DataMovementEvent] = []
-        for edge in vr.in_edges:
-            manager = self._edge_manager(edge)
-            source_name = edge.source.name
-            for (src_name, src_task, src_out), event in vr.incoming.items():
-                if src_name != source_name:
-                    continue
-                routing = manager.route(src_task, src_out)
-                if task.index in routing:
-                    routed = DataMovementEvent(
-                        source_vertex=event.source_vertex,
-                        source_task_index=event.source_task_index,
-                        source_output_index=event.source_output_index,
-                        payload=event.payload,
-                        version=event.version,
-                        target_input_index=routing[task.index],
-                    )
-                    out.append(routed)
-        out.sort(key=lambda e: (e.source_vertex, e.source_task_index,
-                                e.source_output_index))
-        return out
-
-    # -------------------------------------------------- attempt completion
-    def _attempt_exit(self, attempt: TaskAttempt,
-                      error: Optional[BaseException]) -> None:
-        if attempt.state not in (AttemptState.QUEUED, AttemptState.RUNNING):
-            return
-        attempt.finish_time = self.env.now
-        task = attempt.task
-        vr = task.vertex
-        if self._dag_state != DAGState.RUNNING or self._dag is None or \
-                vr.name not in self._vertices or \
-                self._vertices[vr.name] is not vr:
-            attempt.state = AttemptState.KILLED
-            self._finish_attempt_span(attempt)
-            return
-        if error is None:
-            self._attempt_succeeded(attempt)
-        elif isinstance(error, Interrupt) or getattr(
-                attempt, "killing", False):
-            self._attempt_killed(attempt)
-        elif attempt.container is not None and \
-                not attempt.container.node.alive:
-            # The machine died under the task: environment fault, not
-            # an application error — retried without burning a failure.
-            attempt.end_reason = AttemptEndReason.CONTAINER_LOST
-            self._record_node_failure(self._attempt_node_id(attempt))
-            self._attempt_killed(attempt)
-        elif attempt.end_reason in (AttemptEndReason.CONTAINER_LOST,
-                                    AttemptEndReason.PREEMPTED):
-            # The container was taken away externally (RM killed it on
-            # a LOST node or preempted it): killed, not failed. Losing
-            # a container still marks the machine as suspect.
-            if attempt.end_reason == AttemptEndReason.CONTAINER_LOST:
-                self._record_node_failure(self._attempt_node_id(attempt))
-            self._attempt_killed(attempt)
-        else:
-            self._attempt_failed(attempt, error)
-        self._finish_attempt_span(attempt)
-
-    def _finish_attempt_span(self, attempt: TaskAttempt) -> None:
-        span = getattr(attempt, "telemetry_span", None)
-        if span is None or span.finished:
-            return
-        telemetry = get_telemetry(self.env)
-        if telemetry is None:
-            return
-        outcome = {
-            AttemptState.SUCCEEDED: "succeeded",
-            AttemptState.FAILED: "failed",
-            AttemptState.KILLED: "killed",
-        }.get(attempt.state, attempt.state.value.lower())
-        telemetry.finish(
-            span, outcome=outcome, node=attempt.node_id or "",
-            reason=attempt.end_reason.value if attempt.end_reason else "",
-        )
-
-    @staticmethod
-    def _attempt_node_id(attempt: TaskAttempt) -> Optional[str]:
-        if attempt.node_id:
-            return attempt.node_id
-        if attempt.container is not None:
-            return attempt.container.node_id
-        return None
-
-    def _attempt_succeeded(self, attempt: TaskAttempt) -> None:
-        task = attempt.task
-        vr = task.vertex
-        if task.state == TaskState.SUCCEEDED:
-            # A sibling (speculation) already won.
-            attempt.state = AttemptState.KILLED
-            attempt.end_reason = AttemptEndReason.SPECULATION_LOST
-            return
-        attempt.state = AttemptState.SUCCEEDED
-        if attempt.is_speculative:
-            self.metrics["speculative_wins"] += 1
-        was_reexecution = task.succeeded_attempt is not None
-        task.state = TaskState.SUCCEEDED
-        task.succeeded_attempt = attempt
-        task.output_version = attempt.number
-        task.output_events = list(
-            getattr(attempt, "_pending_success_events", [])
-        )
-        self.metrics["tasks_succeeded"] += 1
-        # Task counters aggregate into the AM registry under "task.";
-        # execute_dag deltas them against the DAG-start snapshot, so
-        # per-DAG and session-wide counter views derive from the same
-        # accumulators.
-        for counter, value in attempt.counters.items():
-            self.registry.counter(f"task.{counter}").inc(value)
-        # Kill speculation losers.
-        for sibling in task.running_attempts():
-            if sibling is not attempt:
-                self.scheduler.kill_attempt(
-                    sibling, AttemptEndReason.SPECULATION_LOST
-                )
-        if self.recovery is not None:
-            self.recovery.record_success(
-                self._dag.name, vr.name, task.index,
-                task.output_events, attempt.node_id or "",
-            )
-        self._route_events(vr, task, task.output_events)
-        if not was_reexecution:
-            vr.completed_tasks += 1
-            self._notify_downstream_completion(vr, task)
-        self._check_vertex_done(vr)
-
-    def _attempt_killed(self, attempt: TaskAttempt) -> None:
-        attempt.state = AttemptState.KILLED
-        self.metrics["attempts_killed"] += 1
-        task = attempt.task
-        reason = attempt.end_reason
-        if reason == AttemptEndReason.SPECULATION_LOST:
-            return
-        if self.config.count_killed_as_failure:
-            task.failed_attempts += 1
-        if task.state == TaskState.SUCCEEDED:
-            return
-        if reason == AttemptEndReason.DAG_KILLED:
-            task.state = TaskState.KILLED
-            return
-        if not task.running_attempts():
-            # Re-run (container lost / preempted attempts are retried
-            # without burning a failure, as in Tez).
-            self._launch_attempt(task)
-
-    def _attempt_failed(self, attempt: TaskAttempt,
-                        error: BaseException) -> None:
-        attempt.state = AttemptState.FAILED
-        attempt.end_reason = AttemptEndReason.APP_ERROR
-        attempt.diagnostics = f"{type(error).__name__}: {error}"
-        self.metrics["attempts_failed"] += 1
-        self._record_node_failure(self._attempt_node_id(attempt))
-        task = attempt.task
-        if task.state == TaskState.SUCCEEDED:
-            return
-        task.failed_attempts += 1
-        if task.failed_attempts >= self.config.max_task_attempts:
-            task.state = TaskState.FAILED
-            self._fail_dag(
-                f"task {task.task_id} failed {task.failed_attempts} "
-                f"times; last error: {attempt.diagnostics}"
-            )
-        elif not task.running_attempts():
-            # Back off before retrying so transient environment faults
-            # (e.g. a replica's node rebooting) have time to clear.
-            def relaunch() -> Generator:
-                yield self.env.timeout(self.config.task_retry_delay)
-                if (
-                    self._dag_state == DAGState.RUNNING
-                    and task.state not in (TaskState.SUCCEEDED,
-                                           TaskState.FAILED,
-                                           TaskState.KILLED)
-                    and not task.running_attempts()
-                ):
-                    self._launch_attempt(task)
-
-            self.env.process(relaunch(), name=f"retry:{task.task_id}")
-
-    def _notify_downstream_completion(self, vr: VertexRuntime,
-                                      task: Task) -> None:
-        for edge in vr.out_edges:
-            target = self._vertices[edge.target.name]
-            if target.manager is not None:
-                target.manager.on_source_task_completed(vr.name, task.index)
-
-    # -------------------------------------------------- event routing
-    def _route_events(self, vr: VertexRuntime, task: Task,
-                      events: list[TezEvent]) -> None:
-        for event in events:
-            if isinstance(event, CompositeDataMovementEvent):
-                for sub in event.expand():
-                    self._route_dme(vr, sub)
-            elif isinstance(event, DataMovementEvent):
-                self._route_dme(vr, event)
-            elif isinstance(event, VertexManagerEvent):
-                self._route_vm_event(event, task.index)
-
-    def _route_dme(self, vr: VertexRuntime,
-                   event: DataMovementEvent) -> None:
-        # With multiple outputs, the producing output tags the event
-        # with its edge target (`_edge_target`); without the tag the
-        # event is routed along every out-edge.
-        target_name = getattr(event, "_edge_target", None)
-        candidates = (
-            [e for e in vr.out_edges if e.target.name == target_name]
-            if target_name
-            else vr.out_edges
-        )
-        for edge in candidates:
-            target = self._vertices[edge.target.name]
-            manager = self._edge_manager(edge)
-            key = (vr.name, event.source_task_index,
-                   event.source_output_index)
-            target.incoming[key] = event
-            if not target.scheduled:
-                continue
-            routing = manager.route(
-                event.source_task_index, event.source_output_index
-            )
-            for dest_index, input_index in routing.items():
-                if dest_index >= len(target.tasks):
-                    continue
-                dest_task = target.tasks[dest_index]
-                for dest_attempt in dest_task.running_attempts():
-                    if dest_attempt.event_store is None:
-                        continue
-                    routed = DataMovementEvent(
-                        source_vertex=event.source_vertex,
-                        source_task_index=event.source_task_index,
-                        source_output_index=event.source_output_index,
-                        payload=event.payload,
-                        version=event.version,
-                        target_input_index=input_index,
-                    )
-                    self._deliver_later(dest_attempt, routed)
-
-    def _deliver_later(self, attempt: TaskAttempt,
-                       event: DataMovementEvent) -> None:
-        def deliver() -> Generator:
-            yield self.env.timeout(self.spec.heartbeat_interval / 2)
-            if (
-                attempt.state == AttemptState.RUNNING
-                and attempt.event_store is not None
-            ):
-                attempt.event_store.put(event)
-
-        self.env.process(deliver(), name="dme-deliver")
-
-    def _route_vm_event(self, event: VertexManagerEvent,
-                        producer_index: Optional[int]) -> None:
-        target = self._vertices.get(event.target_vertex)
-        if target is None:
-            return
-        if event.producer_task_index is None:
-            event.producer_task_index = producer_index
-        if target.manager is None or not target.started:
-            target.pending_vm_events.append(event)
-            return
-        target.manager.on_vertex_manager_event(event)
-
-    def _event_from_task(self, attempt: TaskAttempt,
-                         event: TezEvent) -> None:
-        """Events sent mid-task via the context (heartbeat delayed)."""
-        def deliver() -> Generator:
-            yield self.env.timeout(self.spec.heartbeat_interval / 2)
-            if self._dag_state != DAGState.RUNNING:
-                return
-            if isinstance(event, VertexManagerEvent):
-                self._route_vm_event(event, attempt.task.index)
-            elif isinstance(event, InputInitializerEvent):
-                ictx = self._init_contexts.get(
-                    (event.target_vertex, event.target_input)
-                )
-                if ictx is not None:
-                    ictx.deliver_event(event)
-            elif isinstance(event, InputReadErrorEvent):
-                self._handle_input_read_error(attempt, event)
-
-        self.env.process(deliver(), name="task-event")
-
-    # -------------------------------------------------- fault tolerance
-    def _handle_input_read_error(self, consumer: TaskAttempt,
-                                 event: InputReadErrorEvent) -> None:
-        src_vr = self._vertices.get(event.source_vertex)
-        if src_vr is None:
-            return
-        if event.source_task_index >= len(src_vr.tasks):
-            return
-        producer = src_vr.tasks[event.source_task_index]
-        if producer.output_version != event.version:
-            # Stale: already re-executed. Re-send current outputs so the
-            # waiting consumer can retry.
-            if producer.state == TaskState.SUCCEEDED:
-                self._route_events(src_vr, producer, producer.output_events)
-            return
-        self._reexecute_task(producer, AttemptEndReason.OUTPUT_LOST)
-
-    def _reexecute_task(self, task: Task,
-                        reason: AttemptEndReason) -> None:
-        """Regenerate a task's lost output (paper 4.3)."""
-        if task.state != TaskState.SUCCEEDED:
-            return  # already being handled
-        vr = task.vertex
-        self.metrics["reexecutions"] += 1
-        telemetry = get_telemetry(self.env)
-        if telemetry is not None:
-            telemetry.event(
-                "am.reexecution", dag=vr.dag_id, vertex=vr.name,
-                index=task.index, reason=reason.value,
-            )
-        if self.recovery is not None:
-            self.recovery.invalidate(self._dag.name, vr.name, task.index)
-        task.state = TaskState.RUNNING
-        if vr.state == VertexState.SUCCEEDED:
-            vr.state = VertexState.RUNNING
-        self._launch_attempt(task)
-
-    def _record_node_failure(self, node_id: Optional[str]) -> None:
-        """Count a task failure / lost container against its node; past
-        the threshold the node is blacklisted (paper 4.3). When too much
-        of the cluster ends up blacklisted the failures are probably the
-        job's fault, not the machines' — the failsafe disables
-        blacklisting entirely."""
-        if (
-            node_id is None
-            or not self.config.node_blacklisting_enabled
-            or self.blacklisting_disabled
-            or node_id in self.blacklisted_nodes
-        ):
-            return
-        self._node_failures[node_id] = self._node_failures.get(node_id, 0) + 1
-        if self._node_failures[node_id] < self.config.node_max_task_failures:
-            return
-        self.blacklisted_nodes.add(node_id)
-        self.metrics["nodes_blacklisted"] += 1
-        telemetry = get_telemetry(self.env)
-        if telemetry is not None:
-            telemetry.event(
-                "am.node_blacklisted", node=node_id,
-                failures=self._node_failures[node_id],
-            )
-        self.scheduler.blacklist_node(node_id)
-        limit = (
-            self.config.blacklist_disable_fraction
-            * len(self.services.cluster.nodes)
-        )
-        if len(self.blacklisted_nodes) > limit:
-            self.blacklisting_disabled = True
-            self.blacklisted_nodes.clear()
-            self._node_failures.clear()
-            self.scheduler.clear_blacklist()
+    def _attempt_exit(self, attempt, error) -> None:
+        self.dispatcher.dispatch(AttemptExitedEvent(attempt, error))
 
     def _on_node_loss(self, node: Node) -> None:
-        """Proactively re-execute completed tasks whose (non-reliable)
-        outputs lived on a lost node and are still needed."""
-        self.metrics["nodes_lost"] += 1
-        if self._dag_state != DAGState.RUNNING:
-            return
-        for vr in self._vertices.values():
-            unreliable_out = [
-                e for e in vr.out_edges
-                if e.prop.data_source == DataSourceType.PERSISTED
-            ]
-            if not unreliable_out:
-                continue
-            consumers_done = all(
-                self._vertices[e.target.name].all_tasks_done()
-                for e in unreliable_out
+        self.dispatcher.dispatch(NodeLostEvent(node))
+
+    def _on_node_lost_event(self, event: NodeLostEvent) -> None:
+        self.recovery_service.on_node_lost(event.node)
+
+    def _record_node_failure(self, node_id: Optional[str]) -> None:
+        self.recovery_service.record_node_failure(node_id)
+
+    def _on_transition(self, event: StateTransitionEvent) -> None:
+        """Observer: keep telemetry spans in lock-step with the
+        machines and record every transition as a trace event."""
+        telemetry = get_telemetry(self.env)
+        subject = event.subject
+        if event.machine == "dag":
+            span, state = self._dag_span, self._dag_state
+        else:
+            span = getattr(subject, "telemetry_span", None)
+            state = subject.state
+        if span is not None and not span.finished:
+            # The live state, not `event.to_state`: queued transition
+            # events can trail the machine by a dispatch cascade.
+            span.attrs["state"] = state.value
+        if telemetry is not None:
+            telemetry.event(
+                "am.transition",
+                machine=event.machine,
+                subject=event.subject_id,
+                from_state=event.from_state.value,
+                to_state=event.to_state.value,
+                trigger=event.trigger,
             )
-            if consumers_done:
-                continue
-            for task in vr.tasks:
-                if (
-                    task.state == TaskState.SUCCEEDED
-                    and task.succeeded_attempt is not None
-                    and task.succeeded_attempt.node_id == node.node_id
-                ):
-                    self.metrics["lost_node_reexecutions"] += 1
-                    self._reexecute_task(
-                        task, AttemptEndReason.CONTAINER_LOST
-                    )
 
-    # -------------------------------------------------- monitors
-    def _speculation_monitor(self) -> Generator:
-        """Launch clones of straggling attempts (paper 4.2)."""
-        try:
-            while True:
-                yield self.env.timeout(
-                    self.config.speculation_check_interval
-                )
-                if self._dag_state != DAGState.RUNNING:
-                    continue
-                for vr in self._vertices.values():
-                    self._speculate_vertex(vr)
-        except Interrupt:
-            return
-
-    def _speculate_vertex(self, vr: VertexRuntime) -> None:
-        durations = [
-            t.succeeded_attempt.duration
-            for t in vr.tasks
-            if t.succeeded_attempt is not None
-            and t.succeeded_attempt.duration is not None
-        ]
-        if len(durations) < self.config.speculation_min_completed:
-            return
-        mean = sum(durations) / len(durations)
-        threshold = mean * self.config.speculation_slowdown_factor
-        for task in vr.tasks:
-            if task.state != TaskState.RUNNING:
-                continue
-            running = [
-                a for a in task.attempts
-                if a.state == AttemptState.RUNNING
-                and a.launch_time is not None
-            ]
-            if len(running) != 1:
-                continue  # already speculating (or nothing running)
-            attempt = running[0]
-            if self.env.now - attempt.launch_time > threshold:
-                telemetry = get_telemetry(self.env)
-                if telemetry is not None:
-                    telemetry.event(
-                        "am.speculation", dag=vr.dag_id, vertex=vr.name,
-                        index=task.index,
-                        running_for=self.env.now - attempt.launch_time,
-                        threshold=threshold,
-                    )
-                self._launch_attempt(task, speculative=True)
-
-    def _deadlock_monitor(self) -> Generator:
-        """Out-of-order scheduling can deadlock a full cluster; detect
-        starved upstream requests and preempt downstream tasks (3.4)."""
-        try:
-            while True:
-                yield self.env.timeout(self.config.deadlock_check_interval)
-                if self._dag_state != DAGState.RUNNING:
-                    continue
-                pending = self.scheduler.pending
-                if not pending:
-                    continue
-                now = self.env.now
-                starved = [
-                    r for r in pending
-                    if now - (r.queued_at or now)
-                    >= self.config.deadlock_pending_timeout
-                ]
-                if not starved:
-                    continue
-                headroom = self.ctx.headroom()
-                oldest = min(starved, key=lambda r: r.queued_at or 0)
-                if oldest.capability.fits_in(headroom):
-                    continue  # cluster has room; just busy, not deadlock
-                # Preempt enough out-of-order downstream work to unblock
-                # every starved upstream request, not one per cycle.
-                highest = min(r.priority for r in starved)
-                for _ in range(len(starved)):
-                    victim = self._pick_preemption_victim(highest)
-                    if victim is None:
-                        break
-                    self.metrics["preemptions"] += 1
-                    self.scheduler.kill_attempt(
-                        victim, AttemptEndReason.PREEMPTED
-                    )
-        except Interrupt:
-            return
-
-    def _pick_preemption_victim(
-        self, starved_priority: int
-    ) -> Optional[TaskAttempt]:
-        candidates: list[TaskAttempt] = []
-        for vr in self._vertices.values():
-            for task in vr.tasks:
-                for attempt in task.attempts:
-                    if (
-                        attempt.state == AttemptState.RUNNING
-                        and not getattr(attempt, "killing", False)
-                        and self._task_priority(task) > starved_priority
-                    ):
-                        candidates.append(attempt)
-        if not candidates:
-            return None
-        # Youngest, lowest-priority attempt loses least work.
-        return max(
-            candidates,
-            key=lambda a: (
-                self._task_priority(a.task), a.launch_time or 0
-            ),
-        )
+    def _on_fault(self, event: FaultEvent) -> None:
+        """Apply a chaos fault delivered as a control-plane event."""
+        if event.kind == "node_crash":
+            self.services.cluster.crash_node(event.target)
+        elif event.kind == "am_crash":
+            container = self.ctx.am_container
+            nm = self.ctx.rm.node_managers[container.node_id]
+            nm.stop_container(
+                container.container_id, ContainerExitStatus.ABORTED
+            )
+        elif event.kind == "shuffle_output_loss":
+            service, spill_id = event.target
+            service.drop_spill(spill_id)
+        else:
+            raise ValueError(f"unknown fault kind: {event.kind!r}")
 
     # -------------------------------------------------- completion & commit
-    def _check_vertex_done(self, vr: VertexRuntime) -> None:
-        if vr.state == VertexState.RUNNING and vr.all_tasks_done():
-            vr.state = VertexState.SUCCEEDED
-            vr.finish_time = self.env.now
-            telemetry = get_telemetry(self.env)
-            if telemetry is not None:
-                span = getattr(vr, "telemetry_span", None)
-                if span is not None:
-                    telemetry.finish(span, outcome=vr.state.value)
-                telemetry.event(
-                    "am.vertex_state", dag=vr.dag_id, vertex=vr.name,
-                    state=vr.state.value,
-                )
-        self._check_dag_done()
-
     def _check_dag_done(self) -> None:
         if self._dag_state != DAGState.RUNNING or self._dag_done is None:
             return
         for vr in self._vertices.values():
             if not vr.all_tasks_done():
                 return
-            vr.state = VertexState.SUCCEEDED
-        self._dag_state = DAGState.SUCCEEDED
+            self.machines.vertex(vr).fire("complete")
+        self._dag_machine.fire("complete")
         if not self._dag_done.triggered:
             self._dag_done.succeed()
 
     def _fail_dag(self, diagnostics: str) -> None:
         if self._dag_state != DAGState.RUNNING:
             return
-        self._dag_state = DAGState.FAILED
+        self._dag_machine.fire("fail")
         self._dag_diagnostics = diagnostics
-        # Kill everything still in flight.
-        for vr in self._vertices.values():
+        for vr in self._vertices.values():   # kill everything in flight
             for task in vr.tasks:
                 for attempt in task.running_attempts():
                     self.scheduler.kill_attempt(
                         attempt, AttemptEndReason.DAG_KILLED
                     )
             if vr.state == VertexState.RUNNING:
-                vr.state = VertexState.FAILED
+                self.machines.vertex(vr).fire("fail")
         if self._dag_done is not None and not self._dag_done.triggered:
             self._dag_done.succeed()
 
@@ -1367,10 +381,10 @@ class DAGAppMaster:
                 )
 
     def _commit_outputs(self) -> Generator:
-        self._dag_state = DAGState.COMMITTING
+        self._dag_machine.fire("commit")
         for committer in self._committers():
             yield self.env.process(committer.commit(), name="commit")
-        self._dag_state = DAGState.SUCCEEDED
+        self._dag_machine.fire("committed")
 
     def _abort_outputs(self) -> Generator:
         for committer in self._committers():

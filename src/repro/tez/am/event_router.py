@@ -1,0 +1,167 @@
+"""Control-plane event routing along edge-manager tables.
+
+The simulated counterpart of Tez's dispatcher-fed event routing: task
+outputs emit DataMovementEvents, the AM resolves them against the edge
+manager's routing table and delivers them to consumer attempts with
+heartbeat latency; VertexManager / InputInitializer / InputReadError
+events sent by running task code flow back the same way. Deliveries
+cross the AM :class:`~repro.tez.am.dispatcher.Dispatcher`
+(``DataDeliveryEvent`` / ``TaskUplinkEvent``) so their ordering is the
+bus's deterministic (time, seq) order.
+"""
+
+from __future__ import annotations
+
+from ..events import (
+    CompositeDataMovementEvent,
+    DataMovementEvent,
+    InputInitializerEvent,
+    InputReadErrorEvent,
+    TezEvent,
+    VertexManagerEvent,
+)
+from .dispatcher import DataDeliveryEvent, TaskUplinkEvent
+from .structures import (
+    AttemptEndReason,
+    AttemptState,
+    DAGState,
+    TaskAttempt,
+    TaskState,
+    VertexRuntime,
+)
+
+__all__ = ["EventRouter"]
+
+
+class EventRouter:
+    """Event-routing component of one AM instance."""
+
+    def __init__(self, am):
+        self.am = am
+
+    # -------------------------------------------------- output routing
+    def route_events(self, vr: VertexRuntime, task,
+                     events: list[TezEvent]) -> None:
+        for event in events:
+            if isinstance(event, CompositeDataMovementEvent):
+                for sub in event.expand():
+                    self.route_dme(vr, sub)
+            elif isinstance(event, DataMovementEvent):
+                self.route_dme(vr, event)
+            elif isinstance(event, VertexManagerEvent):
+                self.route_vm_event(event, task.index)
+
+    def route_dme(self, vr: VertexRuntime,
+                  event: DataMovementEvent) -> None:
+        # With multiple outputs, the producing output tags the event
+        # with its edge target (`_edge_target`); without the tag the
+        # event is routed along every out-edge.
+        target_name = getattr(event, "_edge_target", None)
+        candidates = (
+            [e for e in vr.out_edges if e.target.name == target_name]
+            if target_name
+            else vr.out_edges
+        )
+        for edge in candidates:
+            target = self.am._vertices[edge.target.name]
+            manager = self.am.lifecycle.edge_manager(edge)
+            key = (vr.name, event.source_task_index,
+                   event.source_output_index)
+            target.incoming[key] = event
+            if not target.scheduled:
+                continue
+            routing = manager.route(
+                event.source_task_index, event.source_output_index
+            )
+            for dest_index, input_index in routing.items():
+                if dest_index >= len(target.tasks):
+                    continue
+                dest_task = target.tasks[dest_index]
+                for dest_attempt in dest_task.running_attempts():
+                    if dest_attempt.event_store is None:
+                        continue
+                    routed = DataMovementEvent(
+                        source_vertex=event.source_vertex,
+                        source_task_index=event.source_task_index,
+                        source_output_index=event.source_output_index,
+                        payload=event.payload,
+                        version=event.version,
+                        target_input_index=input_index,
+                    )
+                    self.deliver_later(dest_attempt, routed)
+
+    def deliver_later(self, attempt: TaskAttempt,
+                      event: DataMovementEvent) -> None:
+        """Heartbeat-delayed delivery of a routed DME to a live
+        attempt, through the dispatcher."""
+        self.am.dispatcher.dispatch_after(
+            self.am.spec.heartbeat_interval / 2,
+            DataDeliveryEvent(attempt, event),
+            name="dme-deliver",
+        )
+
+    def on_data_delivery(self, event: DataDeliveryEvent) -> None:
+        attempt = event.attempt
+        if (
+            attempt.state == AttemptState.RUNNING
+            and attempt.event_store is not None
+        ):
+            attempt.event_store.put(event.payload)
+
+    # -------------------------------------------------- task uplink
+    def event_from_task(self, attempt: TaskAttempt,
+                        event: TezEvent) -> None:
+        """Events sent mid-task via the context (heartbeat delayed)."""
+        self.am.dispatcher.dispatch_after(
+            self.am.spec.heartbeat_interval / 2,
+            TaskUplinkEvent(attempt, event),
+            name="task-event",
+        )
+
+    def on_task_uplink(self, uplink: TaskUplinkEvent) -> None:
+        am = self.am
+        if am._dag_state != DAGState.RUNNING:
+            return
+        event = uplink.payload
+        if isinstance(event, VertexManagerEvent):
+            self.route_vm_event(event, uplink.attempt.task.index)
+        elif isinstance(event, InputInitializerEvent):
+            ictx = am._init_contexts.get(
+                (event.target_vertex, event.target_input)
+            )
+            if ictx is not None:
+                ictx.deliver_event(event)
+        elif isinstance(event, InputReadErrorEvent):
+            self.handle_input_read_error(uplink.attempt, event)
+
+    def route_vm_event(self, event: VertexManagerEvent,
+                       producer_index) -> None:
+        target = self.am._vertices.get(event.target_vertex)
+        if target is None:
+            return
+        if event.producer_task_index is None:
+            event.producer_task_index = producer_index
+        if target.manager is None or not target.started:
+            target.pending_vm_events.append(event)
+            return
+        target.manager.on_vertex_manager_event(event)
+
+    # -------------------------------------------------- read errors
+    def handle_input_read_error(self, consumer: TaskAttempt,
+                                event: InputReadErrorEvent) -> None:
+        src_vr = self.am._vertices.get(event.source_vertex)
+        if src_vr is None:
+            return
+        if event.source_task_index >= len(src_vr.tasks):
+            return
+        producer = src_vr.tasks[event.source_task_index]
+        if producer.output_version != event.version:
+            # Stale: already re-executed. Re-send current outputs so the
+            # waiting consumer can retry.
+            if producer.state == TaskState.SUCCEEDED:
+                self.route_events(src_vr, producer,
+                                  producer.output_events)
+            return
+        self.am.runner.reexecute_task(
+            producer, AttemptEndReason.OUTPUT_LOST
+        )

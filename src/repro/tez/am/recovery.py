@@ -1,0 +1,169 @@
+"""AM fault tolerance: the recovery journal and node-health tracking.
+
+The simulated counterpart of Tez's RecoveryService: the
+:class:`RecoveryLog` is the checkpoint journal that outlives AM
+attempts, and :class:`RecoveryService` replays it into a restarted AM
+by *re-applying state transitions* (attempt/task ``recover`` events
+through the control-plane machines) instead of mutating state — so a
+recovered DAG goes through exactly the audited tables a fresh one
+does. Node-health accounting (blacklisting, lost-node re-execution)
+lives here too: it is the same paper-4.3 machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...cluster import Node
+from ...telemetry import get_telemetry
+from ..dag import DataSourceType
+from .structures import AttemptEndReason, DAGState, TaskState
+
+__all__ = ["RecoveryLog", "RecoveryService"]
+
+
+class RecoveryLog:
+    """AM checkpoint journal (paper 4.3): survives AM restarts.
+
+    Records task successes with their routed events so a restarted AM
+    attempt does not re-run completed work.
+    """
+
+    def __init__(self):
+        self._successes: dict[str, dict[tuple[str, int], list]] = {}
+        self._finished_dags: set[str] = set()
+
+    def record_success(self, dag_name: str, vertex: str, index: int,
+                       events: list, node_id: str) -> None:
+        self._successes.setdefault(dag_name, {})[(vertex, index)] = (
+            events, node_id
+        )
+
+    def invalidate(self, dag_name: str, vertex: str, index: int) -> None:
+        self._successes.get(dag_name, {}).pop((vertex, index), None)
+
+    def record_dag_finished(self, dag_name: str) -> None:
+        self._finished_dags.add(dag_name)
+        self._successes.pop(dag_name, None)
+
+    def dag_finished(self, dag_name: str) -> bool:
+        return dag_name in self._finished_dags
+
+    def successes(self, dag_name: str) -> dict[tuple[str, int], tuple]:
+        return dict(self._successes.get(dag_name, {}))
+
+
+class RecoveryService:
+    """Replay + node-health component of one AM instance."""
+
+    def __init__(self, am):
+        self.am = am
+
+    # -------------------------------------------------- journal replay
+    def recovered_work(self, dag_name: str) -> dict:
+        if self.am.recovery is None:
+            return {}
+        return self.am.recovery.successes(dag_name)
+
+    def replay(self, vr, recovered: dict) -> None:
+        """Re-apply recorded successes to a starting vertex: attempts
+        and tasks take their ``recover`` transition (NEW -> SUCCEEDED)
+        through the machines, without re-running anything."""
+        machines = self.am.machines
+        for (vertex_name, index), (events, node_id) in recovered.items():
+            if vertex_name != vr.name or index >= len(vr.tasks):
+                continue
+            task = vr.tasks[index]
+            attempt = task.new_attempt()
+            machines.attempt(attempt).fire("recover")
+            attempt.node_id = node_id
+            machines.task(task).fire("recover")
+            task.succeeded_attempt = attempt
+            task.output_version = attempt.number
+            task.output_events = list(events)
+            vr.scheduled.add(index)
+            vr.completed_tasks += 1
+
+    def record_success(self, task, attempt) -> None:
+        if self.am.recovery is None:
+            return
+        vr = task.vertex
+        self.am.recovery.record_success(
+            self.am._dag.name, vr.name, task.index,
+            task.output_events, attempt.node_id or "",
+        )
+
+    def invalidate(self, task) -> None:
+        if self.am.recovery is None:
+            return
+        self.am.recovery.invalidate(
+            self.am._dag.name, task.vertex.name, task.index
+        )
+
+    # -------------------------------------------------- node health
+    def record_node_failure(self, node_id: Optional[str]) -> None:
+        """Count a task failure / lost container against its node; past
+        the threshold the node is blacklisted (paper 4.3). When too much
+        of the cluster ends up blacklisted the failures are probably the
+        job's fault, not the machines' — the failsafe disables
+        blacklisting entirely."""
+        am = self.am
+        if (
+            node_id is None
+            or not am.config.node_blacklisting_enabled
+            or am.blacklisting_disabled
+            or node_id in am.blacklisted_nodes
+        ):
+            return
+        am._node_failures[node_id] = am._node_failures.get(node_id, 0) + 1
+        if am._node_failures[node_id] < am.config.node_max_task_failures:
+            return
+        am.blacklisted_nodes.add(node_id)
+        am.metrics["nodes_blacklisted"] += 1
+        telemetry = get_telemetry(am.env)
+        if telemetry is not None:
+            telemetry.event(
+                "am.node_blacklisted", node=node_id,
+                failures=am._node_failures[node_id],
+            )
+        am.scheduler.blacklist_node(node_id)
+        limit = (
+            am.config.blacklist_disable_fraction
+            * len(am.services.cluster.nodes)
+        )
+        if len(am.blacklisted_nodes) > limit:
+            am.blacklisting_disabled = True
+            am.blacklisted_nodes.clear()
+            am._node_failures.clear()
+            am.scheduler.clear_blacklist()
+
+    def on_node_lost(self, node: Node) -> None:
+        """Proactively re-execute completed tasks whose (non-reliable)
+        outputs lived on a lost node and are still needed."""
+        am = self.am
+        am.metrics["nodes_lost"] += 1
+        if am._dag_state != DAGState.RUNNING:
+            return
+        for vr in am._vertices.values():
+            unreliable_out = [
+                e for e in vr.out_edges
+                if e.prop.data_source == DataSourceType.PERSISTED
+            ]
+            if not unreliable_out:
+                continue
+            consumers_done = all(
+                am._vertices[e.target.name].all_tasks_done()
+                for e in unreliable_out
+            )
+            if consumers_done:
+                continue
+            for task in vr.tasks:
+                if (
+                    task.state == TaskState.SUCCEEDED
+                    and task.succeeded_attempt is not None
+                    and task.succeeded_attempt.node_id == node.node_id
+                ):
+                    am.metrics["lost_node_reexecutions"] += 1
+                    am.runner.reexecute_task(
+                        task, AttemptEndReason.CONTAINER_LOST
+                    )

@@ -1,0 +1,27 @@
+"""The DAG execution result surfaced to clients and engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .structures import DAGState
+
+__all__ = ["DAGStatus"]
+
+
+@dataclass
+class DAGStatus:
+    name: str
+    state: DAGState
+    start_time: float
+    finish_time: float
+    diagnostics: str = ""
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def elapsed(self) -> float:
+        return self.finish_time - self.start_time
+
+    @property
+    def succeeded(self) -> bool:
+        return self.state == DAGState.SUCCEEDED

@@ -1,0 +1,377 @@
+"""The AM control plane: transition tables, dispatcher, auditor, and
+the telemetry invariant (span state == machine state, always)."""
+
+import enum
+from types import SimpleNamespace
+
+import pytest
+
+from repro.sim import Environment
+from repro.tez import DAG
+from repro.tez.am import (
+    AttemptState,
+    ControlEvent,
+    DAGState,
+    Dispatcher,
+    InvalidStateTransition,
+    StateMachine,
+    StateTransitionEvent,
+    TABLES,
+    TaskState,
+    UnhandledEventError,
+    VertexState,
+)
+from repro.tez.am.check import audit_all, audit_table
+from repro.tez.am.state_machines import TransitionTable
+
+from helpers import (
+    SG,
+    edge,
+    fn_vertex,
+    hdfs_sink,
+    hdfs_source,
+    make_sim,
+)
+
+
+class _StubHandler:
+    """Accepts every action (no-op) and every guard (True)."""
+
+    def __getattr__(self, name):
+        if name.startswith("vertex_") or name.endswith("_done"):
+            return lambda subject: True
+        return lambda subject, **ctx: None
+
+
+def machine_for(kind, state):
+    table = TABLES[kind]
+    subject = SimpleNamespace(state=state)
+    return StateMachine(table, subject, f"{kind}-under-test",
+                        handler=_StubHandler())
+
+
+# ---------------------------------------------------------------- tables
+
+def legal_moves():
+    for kind, table in TABLES.items():
+        for tr in table.transitions:
+            for source in tr.sources:
+                yield pytest.param(
+                    kind, source, tr.event, tr.target,
+                    id=f"{kind}:{source.value}-{tr.event}",
+                )
+
+
+@pytest.mark.parametrize("kind,source,event,target", legal_moves())
+def test_every_legal_transition_moves_state(kind, source, event, target):
+    sm = machine_for(kind, source)
+    assert sm.can(event)
+    assert sm.fire(event) == target
+    assert sm.state == target
+
+
+ILLEGAL = [
+    ("attempt", AttemptState.NEW, "succeed"),
+    ("attempt", AttemptState.NEW, "launch"),
+    ("attempt", AttemptState.QUEUED, "succeed"),
+    ("attempt", AttemptState.RUNNING, "recover"),
+    ("attempt", AttemptState.RUNNING, "schedule"),
+    ("task", TaskState.NEW, "launch"),
+    ("task", TaskState.NEW, "succeed"),
+    ("task", TaskState.SCHEDULED, "succeed"),
+    ("task", TaskState.SUCCEEDED, "succeed"),
+    ("task", TaskState.FAILED, "restart"),
+    ("vertex", VertexState.NEW, "start"),
+    ("vertex", VertexState.NEW, "complete"),
+    ("vertex", VertexState.INITED, "complete"),
+    ("vertex", VertexState.RUNNING, "init"),
+    ("vertex", VertexState.KILLED, "start"),
+    ("dag", DAGState.NEW, "complete"),
+    ("dag", DAGState.NEW, "commit"),
+    ("dag", DAGState.RUNNING, "committed"),
+    ("dag", DAGState.SUCCEEDED, "run"),
+]
+
+
+@pytest.mark.parametrize(
+    "kind,state,event", ILLEGAL,
+    ids=[f"{k}:{s.value}-{e}" for k, s, e in ILLEGAL],
+)
+def test_illegal_transitions_raise(kind, state, event):
+    sm = machine_for(kind, state)
+    assert not sm.can(event)
+    with pytest.raises(InvalidStateTransition):
+        sm.fire(event)
+    assert sm.state == state    # no partial move
+
+
+def test_unknown_event_is_invalid():
+    sm = machine_for("task", TaskState.NEW)
+    with pytest.raises(InvalidStateTransition):
+        sm.fire("frobnicate")
+
+
+def test_terminal_states_absorb_late_events():
+    """A kill racing a success is routine; no exception, no move, no
+    transition event on the bus."""
+    env = Environment()
+    bus = Dispatcher(env)
+    seen = []
+    bus.register(StateTransitionEvent, seen.append)
+    table = TABLES["attempt"]
+    subject = SimpleNamespace(state=AttemptState.SUCCEEDED)
+    sm = StateMachine(table, subject, "a", dispatcher=bus,
+                      handler=_StubHandler())
+    for event in ("kill", "discard", "succeed", "fail"):
+        assert sm.fire(event) == AttemptState.SUCCEEDED
+    assert seen == []
+
+
+def test_guard_rejection_blocks_transition():
+    class Unready:
+        def vertex_all_tasks_done(self, subject):
+            return False
+
+    sm = StateMachine(TABLES["vertex"],
+                      SimpleNamespace(state=VertexState.RUNNING),
+                      "v", handler=Unready())
+    with pytest.raises(InvalidStateTransition):
+        sm.fire("complete")
+    assert sm.state == VertexState.RUNNING
+
+
+def test_fire_announces_on_dispatcher():
+    env = Environment()
+    bus = Dispatcher(env)
+    seen = []
+    bus.register(StateTransitionEvent, seen.append)
+    sm = StateMachine(TABLES["task"], SimpleNamespace(state=TaskState.NEW),
+                      "d/t0", dispatcher=bus, handler=_StubHandler())
+    sm.fire("schedule")
+    sm.fire("launch")
+    assert [(e.from_state, e.to_state, e.trigger) for e in seen] == [
+        (TaskState.NEW, TaskState.SCHEDULED, "schedule"),
+        (TaskState.SCHEDULED, TaskState.RUNNING, "launch"),
+    ]
+    assert all(e.machine == "task" and e.subject_id == "d/t0"
+               for e in seen)
+
+
+# --------------------------------------------------------------- auditor
+
+def test_shipped_tables_are_sound():
+    report, problems = audit_all()
+    assert problems == []
+    assert len(report) == len(TABLES)
+
+
+class _Toy(enum.Enum):
+    A = "a"
+    B = "b"
+    C = "c"
+
+
+def test_auditor_flags_unreachable_state_and_gaps():
+    table = TransitionTable("toy", _Toy, _Toy.A, terminals={_Toy.B})
+    table.move("go", _Toy.A, _Toy.B)
+    # _Toy.C is never a target and (C, go) / (B, go) cells are missing.
+    problems = audit_table(table)
+    assert any("unreachable" in p for p in problems)
+    assert any("unspecified cell" in p for p in problems)
+
+
+def test_auditor_flags_leaky_terminal():
+    table = TransitionTable("toy", _Toy, _Toy.A, terminals={_Toy.B})
+    table.move("go", _Toy.A, _Toy.B)
+    table.move("leak", _Toy.B, _Toy.C)      # terminal must absorb
+    table.invalid_rest()
+    problems = audit_table(table)
+    assert any("terminal state b has outgoing" in p for p in problems)
+
+
+def test_auditor_flags_missing_hook():
+    class Handler:
+        pass
+
+    table = TransitionTable("toy", _Toy, _Toy.A, terminals={_Toy.C})
+    table.move("go", _Toy.A, _Toy.B, action="act_missing")
+    table.move("on", _Toy.B, _Toy.C, guard="guard_missing")
+    table.invalid_rest()
+    problems = audit_table(table, Handler)
+    assert any("action 'act_missing'" in p for p in problems)
+    assert any("guard 'guard_missing'" in p for p in problems)
+
+
+def test_auditor_accepts_sound_toy_table():
+    class Handler:
+        def act_go(self, subject, **ctx):
+            pass
+
+    table = TransitionTable("toy", _Toy, _Toy.A, terminals={_Toy.C})
+    table.move("go", _Toy.A, _Toy.B, action="act_go")
+    table.move("on", _Toy.B, _Toy.C)
+    table.ignore(_Toy.C, "go", "on")
+    table.invalid_rest()
+    assert audit_table(table, Handler) == []
+
+
+def test_check_cli_exits_clean(tmp_path, capsys):
+    from repro.tez.am.check import main
+
+    report = tmp_path / "am-check.txt"
+    assert main(["--report", str(report)]) == 0
+    out = capsys.readouterr().out
+    assert "ok: all transition tables sound" in out
+    assert "ok: all transition tables sound" in report.read_text()
+
+
+# ------------------------------------------------------------ dispatcher
+
+class _Ping(ControlEvent):
+    def __init__(self, tag):
+        super().__init__()
+        self.tag = tag
+
+
+def test_dispatch_after_same_timestamp_fifo():
+    env = Environment()
+    bus = Dispatcher(env)
+    order = []
+    bus.register(_Ping, lambda e: order.append(e.tag))
+    for tag in ("a", "b", "c", "d"):
+        bus.dispatch_after(1.0, _Ping(tag))
+    env.run()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_nested_dispatch_runs_to_completion_in_enqueue_order():
+    env = Environment()
+    bus = Dispatcher(env)
+    order = []
+
+    def handler(e):
+        order.append(e.tag)
+        if e.tag == "root":
+            bus.dispatch(_Ping("child1"))
+            bus.dispatch(_Ping("child2"))
+
+    bus.register(_Ping, handler)
+    bus.dispatch(_Ping("root"))
+    assert order == ["root", "child1", "child2"]
+    assert bus.dispatched == 3
+
+
+def test_unhandled_event_raises_unless_ignored():
+    env = Environment()
+    bus = Dispatcher(env)
+    with pytest.raises(UnhandledEventError):
+        bus.dispatch(_Ping("orphan"))
+    bus.ignore(_Ping)
+    bus.dispatch(_Ping("orphan"))   # now a legal drop
+
+
+def test_journal_records_time_seq_and_summary():
+    env = Environment()
+    bus = Dispatcher(env, name="t")
+    bus.keep_journal = True
+    bus.ignore(_Ping)
+    bus.register(StateTransitionEvent, lambda e: None)
+    sm = StateMachine(TABLES["task"], SimpleNamespace(state=TaskState.NEW),
+                      "d/t0", dispatcher=bus, handler=_StubHandler())
+    sm.fire("schedule")
+    bus.dispatch(_Ping("x"))
+    times, seqs, names, summaries = zip(*bus.journal)
+    assert seqs == (0, 1)
+    assert names == ("StateTransitionEvent", "_Ping")
+    assert "task:d/t0" in summaries[0]
+    assert "on schedule" in summaries[0]
+
+
+# ------------------------------------------- full-DAG telemetry invariant
+
+def _wordcount(sim, name="cp"):
+    sim.hdfs.write("/in", [(i % 7, i) for i in range(400)],
+                   record_bytes=24)
+    m = fn_vertex("m", lambda c, d: {"r": list(d["src"])}, -1)
+    hdfs_source(m, "src", ["/in"])
+    r = fn_vertex("r", lambda c, d: {"out": [
+        (k, sum(vs)) for k, vs in d["m"]
+    ]}, 2)
+    hdfs_sink(r, "out", f"/out/{name}")
+    dag = DAG(name).add_vertex(m).add_vertex(r)
+    dag.add_edge(edge(m, r, SG))
+    return dag
+
+
+def test_full_dag_span_state_equals_machine_state():
+    """At every transition the telemetry span's ``state`` attribute
+    must already equal the live machine state — the AM's own observer
+    runs first, so a later observer must never see them disagree."""
+    sim = make_sim()
+    dag = _wordcount(sim)
+    client = sim.tez_client()
+    seen = []
+    mismatches = []
+
+    def observer(event):
+        seen.append((event.machine, event.trigger))
+        am = client.last_am
+        if event.machine == "dag":
+            span, state = am._dag_span, am._dag_state
+        else:
+            span = getattr(event.subject, "telemetry_span", None)
+            state = event.subject.state
+        if span is not None and not span.finished:
+            if span.attrs.get("state") != state.value:
+                mismatches.append(
+                    (event.machine, event.subject_id,
+                     span.attrs.get("state"), state.value)
+                )
+
+    original = client._make_am
+
+    def instrumented(ctx):
+        am = original(ctx)
+        am.dispatcher.register(StateTransitionEvent, observer)
+        return am
+
+    client._make_am = instrumented
+    handle = client.submit_dag(dag)
+    sim.env.run(until=handle.completion)
+    assert handle.status.succeeded, handle.status.diagnostics
+    assert mismatches == []
+    machines = {m for m, _ in seen}
+    assert machines == {"dag", "vertex", "task", "attempt"}
+    # Every task ran: schedule+launch+succeed per attempt at minimum.
+    assert len(seen) > 20
+    assert client.last_am.dispatcher.dispatched >= len(seen)
+
+
+def test_full_dag_transitions_all_legal_per_table():
+    """Replaying the observed transition stream against the tables
+    must find every move declared (the machines can't cheat)."""
+    sim = make_sim()
+    dag = _wordcount(sim, name="cp2")
+    client = sim.tez_client()
+    stream = []
+
+    original = client._make_am
+
+    def instrumented(ctx):
+        am = original(ctx)
+        am.dispatcher.register(
+            StateTransitionEvent,
+            lambda e: stream.append(
+                (e.machine, e.from_state, e.trigger, e.to_state)
+            ),
+        )
+        return am
+
+    client._make_am = instrumented
+    handle = client.submit_dag(dag)
+    sim.env.run(until=handle.completion)
+    assert handle.status.succeeded
+    for machine, source, trigger, target in stream:
+        cell = TABLES[machine].cell(source, trigger)
+        assert isinstance(cell, list), (machine, source, trigger)
+        assert any(t.target == target for t in cell)

@@ -242,16 +242,16 @@ def test_am_restart_recovers_completed_work():
     handle = client.submit_dag(dag)
 
     def am_killer():
-        # Wait until some map tasks finished, then kill the AM node's
-        # AM container by crashing the AM process via node crash.
+        # Wait until some map tasks finished, then crash the AM through
+        # its own control plane: the fault arrives as a dispatcher
+        # event, exactly as chaos injection delivers it.
+        from repro.tez.am import FaultEvent
+
         while client.last_am is None or \
                 client.last_am.metrics["tasks_succeeded"] < 2:
             yield sim.env.timeout(0.5)
         am = client.last_am
-        am_node = am.ctx.am_container.node_id
-        sim.cluster.crash_node(am_node)
-        yield sim.env.timeout(1)
-        sim.cluster.restart_node(am_node)
+        am.dispatcher.dispatch(FaultEvent(kind="am_crash"))
 
     sim.env.process(am_killer())
     sim.env.run(until=handle.completion)
