@@ -1,0 +1,378 @@
+"""Hot-path perf-regression microbenchmark suite.
+
+Usage::
+
+    python -m repro.bench.perf [--smoke] [--profile] [--check]
+                               [--update] [--out PATH]
+
+Every scenario runs twice on identical workloads: once with the
+legacy event plane (``composite_dme=False, coalesce_deliveries=False``
+— the pre-overhaul behaviour, kept as a config flag exactly so it can
+serve as this baseline) and once with the optimized defaults. The
+simulated makespan must be *identical* between the two runs — the
+overhaul changes how the simulator executes, never what it computes —
+and the suite asserts that on every scenario.
+
+Scenarios:
+
+* ``wide_shuffle`` — one 200x200 scatter-gather edge with eager
+  slow-start on a cluster big enough to run both sides concurrently,
+  so all 40k DataMovementEvents are routed *live* through the
+  dispatcher. Exercises delivery coalescing; the acceptance criterion
+  "events dispatched reduced >= 5x" is measured here.
+* ``wide_shuffle_buffered`` — the same 200x200 edge with the default
+  slow-start window on a small cluster, so DMEs buffer in the AM and
+  are resolved when consumer attempts launch. Exercises the composite
+  snapshot fast path (O(partition range) instead of O(partitions) per
+  consumer); the ">= 1.5x wall-clock" criterion is measured here.
+* ``diamond`` — a 10_000-task one-to-one diamond: kernel/container/
+  state-machine throughput, largely event-plane-neutral.
+* ``chaos`` — a shuffle job with a node crash mid-run: the recovery
+  and re-routing hot path, and a determinism check that the optimized
+  event plane reproduces the legacy makespan under faults.
+
+Metrics per (scenario, mode): host wall-clock seconds, dispatcher
+events dispatched, kernel heap pushes, simulated makespan. The
+regression gate (``--check``) compares only machine-independent
+*ratios* (wall speedup, dispatched/heap reduction factors) against the
+committed ``BENCH_perf.json``, failing on a >20% drop; absolute
+wall-clock never crosses machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import json
+import pstats
+import sys
+import time
+from pathlib import Path
+
+from .. import FaultPlan, SimCluster
+from ..tez import (
+    DAG,
+    DataMovementType,
+    DataSinkDescriptor,
+    DataSourceDescriptor,
+    Descriptor,
+    Edge,
+    EdgeProperty,
+    ShuffleVertexManager,
+    ShuffleVertexManagerConfig,
+    TezConfig,
+    Vertex,
+)
+from ..tez.library import (
+    FnProcessor,
+    HdfsInput,
+    HdfsInputInitializer,
+    HdfsOutput,
+    HdfsOutputCommitter,
+    OneToOneInput,
+    OneToOneOutput,
+    OrderedGroupedKVInput,
+    OrderedPartitionedKVOutput,
+)
+
+__all__ = ["run_suite", "check_against", "main"]
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+BASELINE_PATH = REPO_ROOT / "BENCH_perf.json"
+
+# Acceptance criteria (full mode): the overhaul must hold these.
+CRITERIA = {
+    "wide_shuffle.dispatched_ratio": 5.0,
+    "wide_shuffle_buffered.wall_speedup": 1.5,
+}
+TOLERANCE = 0.20   # allowed ratio drop vs the committed reference
+
+
+def _legacy_config(**kwargs) -> TezConfig:
+    return TezConfig(composite_dme=False, coalesce_deliveries=False,
+                     **kwargs)
+
+
+def _sg_edge(src: Vertex, dst: Vertex) -> Edge:
+    return Edge(src, dst, EdgeProperty(
+        DataMovementType.SCATTER_GATHER,
+        output_descriptor=Descriptor(OrderedPartitionedKVOutput),
+        input_descriptor=Descriptor(OrderedGroupedKVInput),
+    ))
+
+
+def _oo_edge(src: Vertex, dst: Vertex) -> Edge:
+    return Edge(src, dst, EdgeProperty(
+        DataMovementType.ONE_TO_ONE,
+        output_descriptor=Descriptor(OneToOneOutput),
+        input_descriptor=Descriptor(OneToOneInput),
+    ))
+
+
+def _timed_run(sim: SimCluster, dag: DAG, config: TezConfig,
+               plan: FaultPlan = None) -> dict:
+    client = sim.tez_client(config=config)
+    handle = client.submit_dag(dag)
+    if plan is not None:
+        sim.chaos(plan, client=client)
+    t0 = time.perf_counter()
+    sim.env.run(until=handle.completion)
+    wall = time.perf_counter() - t0
+    status = handle.status
+    assert status.succeeded, status.diagnostics
+    return {
+        "wall_s": round(wall, 4),
+        "dispatched": client.last_am.dispatcher.dispatched,
+        "heap_pushes": sim.env.heap_pushes,
+        "sim_makespan": status.elapsed,
+    }
+
+
+# ---------------------------------------------------------------- scenarios
+
+def wide_shuffle(config: TezConfig, smoke: bool,
+                 buffered: bool = False) -> dict:
+    """One scatter-gather edge, producers x consumers, one record per
+    (producer, partition). ``buffered`` selects the default slow-start
+    window on a small cluster (DMEs buffer in the AM and resolve at
+    attempt launch); otherwise eager slow-start on a big cluster keeps
+    every delivery live."""
+    n = 40 if smoke else 200
+    if buffered:
+        sim = SimCluster(num_nodes=4, nodes_per_rack=2,
+                         memory_per_node_mb=16 * 1024, cores_per_node=8)
+        slow = ShuffleVertexManagerConfig()          # default 25-75%
+    else:
+        sim = SimCluster(num_nodes=14 if smoke else 60,
+                         nodes_per_rack=7 if smoke else 10,
+                         memory_per_node_mb=16 * 1024, cores_per_node=8)
+        slow = ShuffleVertexManagerConfig(
+            slowstart_min_fraction=0.0, slowstart_max_fraction=0.0,
+        )
+    producer = Vertex("m", Descriptor(FnProcessor, {
+        "fn": lambda c, d, n=n: {"r": [(p, 1) for p in range(n)]},
+    }), parallelism=n)
+    consumer = Vertex("r", Descriptor(FnProcessor, {
+        "fn": lambda c, d: {},
+    }), parallelism=n)
+    consumer.vertex_manager = Descriptor(ShuffleVertexManager, slow)
+    dag = DAG("wide-shuffle").add_vertex(producer).add_vertex(consumer)
+    dag.add_edge(_sg_edge(producer, consumer))
+    return _timed_run(sim, dag, config)
+
+
+def diamond(config: TezConfig, smoke: bool) -> dict:
+    """v1 -> (v2, v3) -> v4 with one-to-one edges: 4p tasks total.
+    Event-plane-neutral; stresses the kernel, containers and state
+    machines (the __slots__ / lazy-cancel / reuse hot paths)."""
+    p = 100 if smoke else 2500
+    sim = SimCluster(num_nodes=20, nodes_per_rack=10,
+                     memory_per_node_mb=16 * 1024, cores_per_node=8)
+
+    def passthrough(targets):
+        def fn(c, d, targets=targets):
+            records = [kv for recs in d.values() for kv in recs] \
+                or [(c.task_index, 1)]
+            return {t: list(records) for t in targets}
+        return fn
+
+    v1 = Vertex("v1", Descriptor(FnProcessor,
+                                 {"fn": passthrough(["v2", "v3"])}),
+                parallelism=p)
+    v2 = Vertex("v2", Descriptor(FnProcessor,
+                                 {"fn": passthrough(["v4"])}),
+                parallelism=p)
+    v3 = Vertex("v3", Descriptor(FnProcessor,
+                                 {"fn": passthrough(["v4"])}),
+                parallelism=p)
+    v4 = Vertex("v4", Descriptor(FnProcessor, {"fn": lambda c, d: {}}),
+                parallelism=p)
+    dag = DAG("diamond")
+    for v in (v1, v2, v3, v4):
+        dag.add_vertex(v)
+    dag.add_edge(_oo_edge(v1, v2)).add_edge(_oo_edge(v1, v3))
+    dag.add_edge(_oo_edge(v2, v4)).add_edge(_oo_edge(v3, v4))
+    return _timed_run(sim, dag, config)
+
+
+def chaos(config: TezConfig, smoke: bool) -> dict:
+    """Shuffle job with a node crash mid-run: recovery, re-execution
+    and re-routing under the optimized event plane."""
+    records = 8_000 if smoke else 30_000
+    sim = SimCluster(num_nodes=6, nodes_per_rack=3,
+                     hdfs_block_size=64 * 1024)
+    sim.hdfs.write("/in", [(i % 20, i) for i in range(records)],
+                   record_bytes=64)
+    m = Vertex("m", Descriptor(FnProcessor, {
+        "fn": lambda c, d: {"r": list(d["src"])},
+        "cpu_per_record": 8e-4,
+    }), parallelism=-1)
+    m.add_data_source("src", DataSourceDescriptor(
+        Descriptor(HdfsInput),
+        Descriptor(HdfsInputInitializer, {"paths": ["/in"]}),
+    ))
+    r = Vertex("r", Descriptor(FnProcessor, {
+        "fn": lambda c, d: {"out": [(k, sum(v)) for k, v in d["m"]]},
+    }), parallelism=6)
+    r.add_data_sink("out", DataSinkDescriptor(
+        Descriptor(HdfsOutput, {"path": "/out"}),
+        Descriptor(HdfsOutputCommitter, {"path": "/out"}),
+    ))
+    dag = DAG("chaotic").add_vertex(m).add_vertex(r)
+    dag.add_edge(_sg_edge(m, r))
+    plan = FaultPlan(seed=42).crash_node(at=6.0, restart_after=20.0)
+    return _timed_run(sim, dag, config, plan=plan)
+
+
+SCENARIOS = {
+    "wide_shuffle": lambda cfg, smoke: wide_shuffle(cfg, smoke),
+    "wide_shuffle_buffered":
+        lambda cfg, smoke: wide_shuffle(cfg, smoke, buffered=True),
+    "diamond": diamond,
+    "chaos": chaos,
+}
+
+
+# ------------------------------------------------------------------ driver
+
+def run_suite(smoke: bool = False, profile: bool = False) -> dict:
+    mode = "smoke" if smoke else "full"
+    results: dict = {"mode": mode, "scenarios": {}}
+    for name, scenario in SCENARIOS.items():
+        print(f"[{mode}] {name}: baseline (legacy event plane) ...",
+              flush=True)
+        base = scenario(_legacy_config(), smoke)
+        print(f"[{mode}] {name}: optimized ...", flush=True)
+        if profile and name == "wide_shuffle":
+            profiler = cProfile.Profile()
+            profiler.enable()
+            opt = scenario(TezConfig(), smoke)
+            profiler.disable()
+            out = io.StringIO()
+            stats = pstats.Stats(profiler, stream=out)
+            stats.sort_stats("cumulative").print_stats(25)
+            print(out.getvalue())
+        else:
+            opt = scenario(TezConfig(), smoke)
+        if base["sim_makespan"] != opt["sim_makespan"]:
+            raise AssertionError(
+                f"{name}: simulated makespan diverged — legacy "
+                f"{base['sim_makespan']} vs optimized "
+                f"{opt['sim_makespan']}: the event-plane overhaul must "
+                f"not change simulated results"
+            )
+        ratios = {
+            "wall_speedup": round(
+                base["wall_s"] / max(opt["wall_s"], 1e-9), 3),
+            "dispatched_ratio": round(
+                base["dispatched"] / max(opt["dispatched"], 1), 3),
+            "heap_ratio": round(
+                base["heap_pushes"] / max(opt["heap_pushes"], 1), 3),
+        }
+        results["scenarios"][name] = {
+            "baseline": base, "optimized": opt, "ratios": ratios,
+        }
+        print(f"[{mode}] {name}: wall {base['wall_s']}s -> "
+              f"{opt['wall_s']}s ({ratios['wall_speedup']}x), "
+              f"dispatched {base['dispatched']} -> {opt['dispatched']} "
+              f"({ratios['dispatched_ratio']}x), heap "
+              f"{base['heap_pushes']} -> {opt['heap_pushes']} "
+              f"({ratios['heap_ratio']}x)", flush=True)
+    return results
+
+
+def check_against(results: dict, committed: dict) -> list[str]:
+    """Regression problems vs the committed reference (empty = pass).
+
+    Compares ratios only: event/heap reduction factors are exactly
+    deterministic (properties of the code, not the machine) and gate
+    in every mode. Wall speedup gates only in full mode — at smoke
+    sizes (sub-second runs) wall ratios are dominated by scheduler
+    noise. Absolute acceptance criteria are enforced in full mode."""
+    problems: list[str] = []
+    mode = results["mode"]
+    ref = committed.get(mode)
+    if ref is None:
+        problems.append(f"committed baseline has no {mode!r} section "
+                        f"(regenerate with --update)")
+        return problems
+    for name, data in results["scenarios"].items():
+        ref_scen = ref.get("scenarios", {}).get(name)
+        if ref_scen is None:
+            problems.append(f"{name}: not in committed baseline")
+            continue
+        for key, value in data["ratios"].items():
+            ref_value = ref_scen["ratios"].get(key)
+            if ref_value is None:
+                continue
+            if key == "wall_speedup" and mode != "full":
+                continue
+            floor = ref_value * (1.0 - TOLERANCE)
+            if value < floor:
+                problems.append(
+                    f"{name}.{key}: {value} < {floor:.3f} "
+                    f"(committed {ref_value}, tolerance {TOLERANCE:.0%})"
+                )
+    if mode == "full":
+        for target, minimum in CRITERIA.items():
+            scen, key = target.split(".")
+            value = (results["scenarios"].get(scen, {})
+                     .get("ratios", {}).get(key))
+            if value is None:
+                problems.append(f"criterion {target}: scenario missing")
+            elif value < minimum:
+                problems.append(
+                    f"criterion {target}: {value} < required {minimum}"
+                )
+    return problems
+
+
+def main(argv: list[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.perf",
+        description="hot-path perf microbenchmarks",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="small scenario sizes (CI)")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile the optimized wide_shuffle run")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on >20%% ratio regression vs the "
+                             "committed BENCH_perf.json")
+    parser.add_argument("--update", action="store_true",
+                        help="merge results into BENCH_perf.json")
+    parser.add_argument("--out", metavar="PATH",
+                        help="also write results JSON to PATH")
+    args = parser.parse_args(argv)
+
+    results = run_suite(smoke=args.smoke, profile=args.profile)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+    if args.update:
+        committed = {}
+        if BASELINE_PATH.exists():
+            committed = json.loads(BASELINE_PATH.read_text())
+        committed[results["mode"]] = results
+        BASELINE_PATH.write_text(
+            json.dumps(committed, indent=2, sort_keys=True) + "\n")
+        print(f"updated {BASELINE_PATH}")
+    if args.check:
+        if not BASELINE_PATH.exists():
+            print(f"no committed baseline at {BASELINE_PATH}",
+                  file=sys.stderr)
+            return 2
+        committed = json.loads(BASELINE_PATH.read_text())
+        problems = check_against(results, committed)
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION {problem}", file=sys.stderr)
+            return 1
+        print("perf check ok: no ratio regressed beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -30,6 +30,7 @@ class SimCluster:
         queues: Optional[list[QueueConfig]] = None,
         secure: bool = True,
         preemption_enabled: bool = False,
+        telemetry: bool = True,
         **spec_overrides,
     ):
         if spec is None:
@@ -38,7 +39,10 @@ class SimCluster:
             spec = spec.scaled(**spec_overrides)
         self.spec = spec
         self.env = Environment()
-        self.telemetry = Telemetry(self.env)
+        # ``telemetry=False`` turns observability into a no-op for
+        # perf-sensitive runs: spans/events are skipped at every
+        # emission site (see telemetry.facade.get_telemetry).
+        self.telemetry = Telemetry(self.env, enabled=telemetry)
         self.cluster = Cluster(self.env, spec)
         self.rm = ResourceManager(
             self.env, self.cluster, queues=queues, secure=secure,

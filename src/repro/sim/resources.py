@@ -18,6 +18,8 @@ __all__ = ["Resource", "ResourceRequest", "Store"]
 class ResourceRequest(Event):
     """Event that triggers when the requested capacity is granted."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource
@@ -106,6 +108,33 @@ class Store:
         else:
             self._putters.append((ev, item))
         return ev
+
+    def put_nowait(self, item: Any) -> None:
+        """Fire-and-forget put for unbounded stores: no ack event, so
+        callers that ignore the ack (mailbox fan-in) skip one kernel
+        heap entry per item."""
+        if self.capacity is not None and len(self.items) >= self.capacity \
+                and not self._getters:
+            raise RuntimeError("put_nowait on a full bounded store")
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self.items.append(item)
+
+    def offer(self, item: Any) -> Optional[Event]:
+        """Like :meth:`put_nowait`, but when a getter is waiting it is
+        triggered *without scheduling* and returned, so a caller
+        delivering a batch can wake every consumer with a single heap
+        entry via ``env.schedule_many``. Returns None when the item was
+        buffered (nobody waiting)."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter._stage(item)
+            return getter
+        if self.capacity is not None and len(self.items) >= self.capacity:
+            raise RuntimeError("offer on a full bounded store")
+        self.items.append(item)
+        return None
 
     def get(self) -> Event:
         ev = Event(self.env)

@@ -167,6 +167,23 @@ def chrome_trace(store: TimelineStore,
         events.append(_complete(span.name, "shuffle", span.start, span.end,
                                 pid, 0, dict(span.attrs)))
 
+    # State-machine swimlanes: every am.transition renders as an
+    # instant event on a per-machine lane of the AM process (sm:dag,
+    # sm:vertex, sm:task, sm:attempt), so control-plane activity is
+    # visible next to the spans it drives.
+    sm_lanes: dict[str, int] = {}
+    for ev in store.events(kind="am.transition"):
+        if not want(ev.attrs):
+            continue
+        machine = str(ev.attrs.get("machine", "?"))
+        tid = sm_lanes.get(machine)
+        if tid is None:
+            tid = sm_lanes[machine] = tids.am_lane(f"sm:{machine}")
+        name = (f"{ev.attrs.get('from_state')}"
+                f"->{ev.attrs.get('to_state')}")
+        events.append(_instant(name, "am.sm", ev.ts, 0, tid,
+                               dict(ev.attrs)))
+
     # Point events: faults, blacklists, node losses, allocations.
     instant_kinds = {
         "chaos.fault": "chaos",

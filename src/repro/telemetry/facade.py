@@ -26,13 +26,28 @@ __all__ = ["Telemetry", "get_telemetry"]
 
 
 def get_telemetry(env) -> Optional["Telemetry"]:
-    """The telemetry installed on this environment, if any."""
-    return getattr(env, "telemetry", None)
+    """The telemetry installed on this environment, if any.
+
+    Returns ``None`` when no telemetry is installed *or* the installed
+    one is disabled, so every emission site's ``if tel is not None``
+    guard doubles as the fast path: a disabled simulation pays two
+    attribute reads per site and allocates nothing.
+    """
+    tel = getattr(env, "telemetry", None)
+    if tel is not None and not tel.enabled:
+        return None
+    return tel
 
 
 class Telemetry:
-    def __init__(self, env=None, verbose_sim: bool = False):
+    def __init__(self, env=None, verbose_sim: bool = False,
+                 enabled: bool = True):
         self.env = env
+        # Hot-path kill switch: when False, get_telemetry() reports no
+        # telemetry and event/span/finish return without recording.
+        # Decided at construction: the kernel process hook is only
+        # registered for enabled telemetry.
+        self.enabled = enabled
         self.log = EventLog()
         self.tracer = Tracer(env=env)
         self.metrics = MetricsRegistry()
@@ -52,7 +67,8 @@ class Telemetry:
         self.env = env
         self.tracer.env = env
         env.telemetry = self
-        env.add_process_hook(self._on_process_created)
+        if self.enabled:
+            env.add_process_hook(self._on_process_created)
 
     def attach_registry(self, name: str,
                         registry: MetricsRegistry) -> MetricsRegistry:
@@ -72,15 +88,21 @@ class Telemetry:
         return self.env.now if self.env is not None else 0.0
 
     def event(self, kind: str, ts: Optional[float] = None,
-              **attrs) -> TelemetryEvent:
+              **attrs) -> Optional[TelemetryEvent]:
+        if not self.enabled:
+            return None
         return self.log.emit(kind, self.now if ts is None else ts, **attrs)
 
     def span(self, kind: str, name: str, parent=None,
-             ts: Optional[float] = None, **attrs) -> Span:
+             ts: Optional[float] = None, **attrs) -> Optional[Span]:
+        if not self.enabled:
+            return None
         return self.tracer.start(kind, name, parent=parent,
                                  ts=self.now if ts is None else ts, **attrs)
 
-    def finish(self, span: Span, ts: Optional[float] = None,
-               **attrs) -> Span:
+    def finish(self, span: Optional[Span], ts: Optional[float] = None,
+               **attrs) -> Optional[Span]:
+        if not self.enabled or span is None:
+            return None
         return self.tracer.finish(span, ts=self.now if ts is None else ts,
                                   **attrs)

@@ -219,10 +219,14 @@ class AttemptRunner:
         output_specs = []
         for edge in vr.out_edges:
             manager = am.lifecycle.edge_manager(edge)
+            physical = manager.num_source_physical_outputs(task.index)
             output_specs.append(OutputSpec(
                 edge.target.name,
                 edge.prop.output_descriptor,
-                manager.num_source_physical_outputs(task.index),
+                physical,
+                # Multi-partition edges announce their outputs with one
+                # CompositeDataMovementEvent per attempt (paper 3.2).
+                composite=am.config.composite_dme and physical > 1,
             ))
         for sink_name, sink in vertex.data_sinks.items():
             output_specs.append(OutputSpec(
@@ -257,7 +261,12 @@ class AttemptRunner:
 
     def snapshot_events(self, task: Task) -> list[DataMovementEvent]:
         """Buffered DMEs routed to this task, resolved via the current
-        edge-manager routing (supports auto-reduced parallelism)."""
+        edge-manager routing (supports auto-reduced parallelism).
+
+        Composites are expanded lazily here: only the partitions this
+        task actually reads are materialised. On a scatter-gather edge
+        the manager's ``partition_range`` inverts the routing table, so
+        resolving a consumer costs O(range) instead of O(partitions)."""
         vr = task.vertex
         out: list[DataMovementEvent] = []
         for edge in vr.in_edges:
@@ -277,6 +286,28 @@ class AttemptRunner:
                         target_input_index=routing[task.index],
                     )
                     out.append(routed)
+            partition_range = getattr(manager, "partition_range", None)
+            for (src_name, src_task), comp in \
+                    vr.incoming_composites.items():
+                if src_name != source_name:
+                    continue
+                if partition_range is not None:
+                    partitions = partition_range(task.index)
+                else:
+                    partitions = range(
+                        comp.source_output_start,
+                        comp.source_output_start + comp.count,
+                    )
+                for partition in partitions:
+                    offset = partition - comp.source_output_start
+                    if not 0 <= offset < comp.count:
+                        continue
+                    routing = manager.route(src_task, partition)
+                    if task.index not in routing:
+                        continue
+                    sub = comp.sub_event(offset)
+                    sub.target_input_index = routing[task.index]
+                    out.append(sub)
         out.sort(key=lambda e: (e.source_vertex, e.source_task_index,
                                 e.source_output_index))
         return out

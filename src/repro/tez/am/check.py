@@ -20,7 +20,8 @@ Loads the shipped control-plane tables (:data:`TABLES` in
 
 Exits 0 on a sound table set, 1 otherwise (problems printed one per
 line). ``--report PATH`` additionally writes the full audit report for
-CI artifact archival.
+CI artifact archival; ``--dot PATH`` writes every table as one
+Graphviz digraph (one cluster per machine) for documentation.
 """
 
 from __future__ import annotations
@@ -31,7 +32,7 @@ from typing import Any
 
 from .state_machines import HANDLER_SPECS, TABLES, TransitionTable
 
-__all__ = ["audit_table", "audit_all", "main"]
+__all__ = ["audit_table", "audit_all", "render_dot", "main"]
 
 
 def _name(state: Any) -> str:
@@ -119,20 +120,63 @@ def audit_all() -> tuple[list[str], list[str]]:
     return report, problems
 
 
+def render_dot(tables: dict[str, TransitionTable] = None) -> str:
+    """All transition tables as one Graphviz digraph: one subgraph
+    cluster per machine, initial states bold, terminals doubled,
+    edges labelled ``event`` (or ``event [guard]``)."""
+    tables = TABLES if tables is None else tables
+    lines = [
+        "digraph control_plane {",
+        "  rankdir=LR;",
+        '  node [shape=ellipse, fontname="Helvetica"];',
+        '  edge [fontname="Helvetica", fontsize=10];',
+    ]
+    for kind, table in tables.items():
+        lines.append(f"  subgraph cluster_{kind} {{")
+        lines.append(f'    label="{kind}";')
+        for state in table.states:
+            attrs = [f'label="{_name(state)}"']
+            if state == table.initial:
+                attrs.append('style="bold"')
+            if state in table.terminals:
+                attrs.append("peripheries=2")
+            lines.append(f'    "{kind}.{_name(state)}" '
+                         f"[{', '.join(attrs)}];")
+        for tr in table.transitions:
+            label = tr.event
+            if tr.guard:
+                label += f" [{tr.guard}]"
+            for source in tr.sources:
+                lines.append(
+                    f'    "{kind}.{_name(source)}" -> '
+                    f'"{kind}.{_name(tr.target)}" [label="{label}"];'
+                )
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
 def main(argv: list[str]) -> int:
+    usage = ("usage: python -m repro.tez.am.check "
+             "[--report PATH] [--dot PATH]")
     report_path = None
-    if argv[:1] == ["--report"]:
-        if len(argv) < 2:
-            print("usage: python -m repro.tez.am.check [--report PATH]",
-                  file=sys.stderr)
+    dot_path = None
+    argv = list(argv)
+    while argv:
+        flag = argv.pop(0)
+        if flag == "--report" and argv:
+            report_path = argv.pop(0)
+        elif flag == "--dot" and argv:
+            dot_path = argv.pop(0)
+        else:
+            print(usage, file=sys.stderr)
             return 2
-        report_path = argv[1]
-    elif argv:
-        print("usage: python -m repro.tez.am.check [--report PATH]",
-              file=sys.stderr)
-        return 2
 
     report, problems = audit_all()
+    if dot_path:
+        with open(dot_path, "w", encoding="utf-8") as fh:
+            fh.write(render_dot())
+        report.append(f"dot: wrote {dot_path}")
     verdict = ("ok: all transition tables sound" if not problems
                else f"UNSOUND: {len(problems)} problem(s)")
     lines = report + problems + [verdict]

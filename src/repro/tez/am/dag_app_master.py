@@ -32,6 +32,7 @@ from ..runtime import FrameworkServices
 from .attempt_runner import BASE_TASK_PRIORITY, AttemptRunner
 from .dispatcher import (
     AttemptExitedEvent,
+    DataDeliveryBatchEvent,
     DataDeliveryEvent,
     Dispatcher,
     FaultEvent,
@@ -120,6 +121,8 @@ class DAGAppMaster:
         self.dispatcher.register(TaskUplinkEvent, self.router.on_task_uplink)
         self.dispatcher.register(DataDeliveryEvent,
                                  self.router.on_data_delivery)
+        self.dispatcher.register(DataDeliveryBatchEvent,
+                                 self.router.on_data_delivery_batch)
         self.dispatcher.register(NodeLostEvent, self._on_node_lost_event)
         self.dispatcher.register(FaultEvent, self._on_fault)
         # Session-wide counters; `metrics` is a dict-compatible live
@@ -139,7 +142,9 @@ class DAGAppMaster:
         ):
             self.registry.counter(key)
         self.metrics = self.registry.view()
-        telemetry = get_telemetry(self.env)
+        # Cached for the hot transition-observer path: every state
+        # machine move crosses it, so avoid per-event lookups.
+        self._telemetry = telemetry = get_telemetry(self.env)
         self.session_span = None
         if telemetry is not None:
             telemetry.attach_registry(str(ctx.app_id), self.registry)
@@ -297,7 +302,7 @@ class DAGAppMaster:
     def _on_transition(self, event: StateTransitionEvent) -> None:
         """Observer: keep telemetry spans in lock-step with the
         machines and record every transition as a trace event."""
-        telemetry = get_telemetry(self.env)
+        telemetry = self._telemetry
         subject = event.subject
         if event.machine == "dag":
             span, state = self._dag_span, self._dag_state

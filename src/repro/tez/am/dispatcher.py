@@ -36,6 +36,7 @@ __all__ = [
     "AttemptExitedEvent",
     "TaskUplinkEvent",
     "DataDeliveryEvent",
+    "DataDeliveryBatchEvent",
     "NodeLostEvent",
     "FaultEvent",
     "Dispatcher",
@@ -91,6 +92,17 @@ class DataDeliveryEvent(ControlEvent):
 
     attempt: Any
     payload: Any = None     # the routed DataMovementEvent
+
+
+@dataclass
+class DataDeliveryBatchEvent(ControlEvent):
+    """All routed DME deliveries landing on one heartbeat tick,
+    coalesced into a single bus dispatch (one kernel heap entry instead
+    of one dispatcher process per event). The journal records the
+    member deliveries individually, so the canonical event stream is
+    identical with batching on or off."""
+
+    deliveries: list = field(default_factory=list)  # DataDeliveryEvent
 
 
 @dataclass
@@ -175,10 +187,20 @@ class Dispatcher:
     def _deliver(self, event: ControlEvent) -> None:
         self.dispatched += 1
         if self.keep_journal:
-            self.journal.append(
-                (event.time, event.seq, type(event).__name__,
-                 self._summarize(event))
-            )
+            if isinstance(event, DataDeliveryBatchEvent):
+                # Journal the member deliveries, not the envelope: the
+                # canonical stream must match the unbatched mode where
+                # each delivery crosses the bus on its own.
+                for inner in event.deliveries:
+                    self.journal.append(
+                        (event.time, event.seq, "DataDeliveryEvent",
+                         self._summarize(inner))
+                    )
+            else:
+                self.journal.append(
+                    (event.time, event.seq, type(event).__name__,
+                     self._summarize(event))
+                )
         handlers = self._handlers.get(type(event))
         if not handlers:
             if type(event) in self._ignorable:
@@ -202,4 +224,23 @@ class Dispatcher:
             return f"{getattr(event.attempt, 'attempt_id', '?')} {err}"
         if isinstance(event, FaultEvent):
             return f"{event.kind}:{event.target}"
+        if isinstance(event, DataDeliveryEvent):
+            attempt_id = getattr(event.attempt, "attempt_id", "?")
+            dme = event.payload
+            src = (f"{getattr(dme, 'source_vertex', '?')}:"
+                   f"{getattr(dme, 'source_task_index', '?')}:"
+                   f"{getattr(dme, 'source_output_index', '?')}"
+                   f"v{getattr(dme, 'version', '?')}")
+            return f"{attempt_id} <- {src}"
         return ""
+
+    def canonical_journal(self) -> list[tuple[float, str, str]]:
+        """Journal with per-dispatch sequence numbers stripped.
+
+        Coalescing changes how many times the bus is invoked (batches
+        count once) and therefore the raw ``seq`` values, but not which
+        deliveries happen when, or in what order. Determinism tests
+        compare this canonical stream across batching modes.
+        """
+        return [(time, typename, summary)
+                for (time, _seq, typename, summary) in self.journal]

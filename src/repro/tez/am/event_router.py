@@ -20,7 +20,11 @@ from ..events import (
     TezEvent,
     VertexManagerEvent,
 )
-from .dispatcher import DataDeliveryEvent, TaskUplinkEvent
+from .dispatcher import (
+    DataDeliveryBatchEvent,
+    DataDeliveryEvent,
+    TaskUplinkEvent,
+)
 from .structures import (
     AttemptEndReason,
     AttemptState,
@@ -38,67 +42,114 @@ class EventRouter:
 
     def __init__(self, am):
         self.am = am
+        # Delivery coalescing: routed DMEs due on the same simulated
+        # tick ride one DataDeliveryBatchEvent (one dispatcher process
+        # and one bus dispatch per tick instead of one per event).
+        self._delivery_buckets: dict[float, DataDeliveryBatchEvent] = {}
 
     # -------------------------------------------------- output routing
     def route_events(self, vr: VertexRuntime, task,
                      events: list[TezEvent]) -> None:
         for event in events:
             if isinstance(event, CompositeDataMovementEvent):
-                for sub in event.expand():
-                    self.route_dme(vr, sub)
+                self.route_composite(vr, event)
             elif isinstance(event, DataMovementEvent):
                 self.route_dme(vr, event)
             elif isinstance(event, VertexManagerEvent):
                 self.route_vm_event(event, task.index)
 
-    def route_dme(self, vr: VertexRuntime,
-                  event: DataMovementEvent) -> None:
+    def _edge_candidates(self, vr: VertexRuntime, event) -> list:
         # With multiple outputs, the producing output tags the event
         # with its edge target (`_edge_target`); without the tag the
         # event is routed along every out-edge.
         target_name = getattr(event, "_edge_target", None)
-        candidates = (
-            [e for e in vr.out_edges if e.target.name == target_name]
-            if target_name
-            else vr.out_edges
-        )
-        for edge in candidates:
+        if target_name:
+            return [e for e in vr.out_edges
+                    if e.target.name == target_name]
+        return vr.out_edges
+
+    def route_dme(self, vr: VertexRuntime,
+                  event: DataMovementEvent) -> None:
+        for edge in self._edge_candidates(vr, event):
             target = self.am._vertices[edge.target.name]
             manager = self.am.lifecycle.edge_manager(edge)
             key = (vr.name, event.source_task_index,
                    event.source_output_index)
             target.incoming[key] = event
+            if target.scheduled:
+                self._deliver_live(target, manager, event)
+
+    def route_composite(self, vr: VertexRuntime,
+                        event: CompositeDataMovementEvent) -> None:
+        """Route one composite DME: buffered compactly (expanded per
+        consumer task at launch), and expanded here only for consumer
+        attempts that are already running — in partition-ascending
+        order, exactly the sequence the per-partition events took."""
+        for edge in self._edge_candidates(vr, event):
+            target = self.am._vertices[edge.target.name]
+            manager = self.am.lifecycle.edge_manager(edge)
+            target.incoming_composites[
+                (vr.name, event.source_task_index)
+            ] = event
             if not target.scheduled:
                 continue
-            routing = manager.route(
-                event.source_task_index, event.source_output_index
-            )
-            for dest_index, input_index in routing.items():
-                if dest_index >= len(target.tasks):
+            if not any(
+                a.event_store is not None
+                for t in target.tasks for a in t.running_attempts()
+            ):
+                continue
+            for offset in range(event.count):
+                self._deliver_live(target, manager,
+                                   event.sub_event(offset))
+
+    def _deliver_live(self, target: VertexRuntime, manager,
+                      event: DataMovementEvent) -> None:
+        """Deliver one buffered-form DME to the running attempts of the
+        consumer tasks it routes to."""
+        routing = manager.route(
+            event.source_task_index, event.source_output_index
+        )
+        for dest_index, input_index in routing.items():
+            if dest_index >= len(target.tasks):
+                continue
+            dest_task = target.tasks[dest_index]
+            for dest_attempt in dest_task.running_attempts():
+                if dest_attempt.event_store is None:
                     continue
-                dest_task = target.tasks[dest_index]
-                for dest_attempt in dest_task.running_attempts():
-                    if dest_attempt.event_store is None:
-                        continue
-                    routed = DataMovementEvent(
-                        source_vertex=event.source_vertex,
-                        source_task_index=event.source_task_index,
-                        source_output_index=event.source_output_index,
-                        payload=event.payload,
-                        version=event.version,
-                        target_input_index=input_index,
-                    )
-                    self.deliver_later(dest_attempt, routed)
+                routed = DataMovementEvent(
+                    source_vertex=event.source_vertex,
+                    source_task_index=event.source_task_index,
+                    source_output_index=event.source_output_index,
+                    payload=event.payload,
+                    version=event.version,
+                    target_input_index=input_index,
+                )
+                self.deliver_later(dest_attempt, routed)
 
     def deliver_later(self, attempt: TaskAttempt,
                       event: DataMovementEvent) -> None:
         """Heartbeat-delayed delivery of a routed DME to a live
-        attempt, through the dispatcher."""
-        self.am.dispatcher.dispatch_after(
-            self.am.spec.heartbeat_interval / 2,
-            DataDeliveryEvent(attempt, event),
-            name="dme-deliver",
-        )
+        attempt, through the dispatcher.
+
+        With ``coalesce_deliveries`` every delivery due on one tick
+        joins a per-tick batch: the first one schedules the batch the
+        way a single delivery would have been scheduled (so kernel
+        ordering is preserved) and the rest just append."""
+        am = self.am
+        delay = am.spec.heartbeat_interval / 2
+        delivery = DataDeliveryEvent(attempt, event)
+        if not am.config.coalesce_deliveries:
+            am.dispatcher.dispatch_after(delay, delivery,
+                                         name="dme-deliver")
+            return
+        due = am.env.now + delay
+        batch = self._delivery_buckets.get(due)
+        if batch is None:
+            batch = DataDeliveryBatchEvent()
+            self._delivery_buckets[due] = batch
+            am.dispatcher.dispatch_after(delay, batch,
+                                         name="dme-deliver")
+        batch.deliveries.append(delivery)
 
     def on_data_delivery(self, event: DataDeliveryEvent) -> None:
         attempt = event.attempt
@@ -106,7 +157,26 @@ class EventRouter:
             attempt.state == AttemptState.RUNNING
             and attempt.event_store is not None
         ):
-            attempt.event_store.put(event.payload)
+            attempt.event_store.put_nowait(event.payload)
+
+    def on_data_delivery_batch(self,
+                               batch: DataDeliveryBatchEvent) -> None:
+        """Deliver a coalesced batch: stage every woken event-pump
+        getter and schedule them with one kernel heap entry."""
+        self._delivery_buckets.pop(batch.time, None)
+        staged = []
+        for event in batch.deliveries:
+            attempt = event.attempt
+            if (
+                attempt.state != AttemptState.RUNNING
+                or attempt.event_store is None
+            ):
+                continue
+            woken = attempt.event_store.offer(event.payload)
+            if woken is not None:
+                staged.append(woken)
+        if staged:
+            self.am.env.schedule_many(staged)
 
     # -------------------------------------------------- task uplink
     def event_from_task(self, attempt: TaskAttempt,

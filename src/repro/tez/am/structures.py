@@ -11,7 +11,7 @@ from enum import Enum
 from typing import Any, Optional, TYPE_CHECKING
 
 from ..dag import Edge, Vertex
-from ..events import DataMovementEvent
+from ..events import CompositeDataMovementEvent, DataMovementEvent
 
 if TYPE_CHECKING:  # pragma: no cover
     from ...sim import Store
@@ -169,6 +169,12 @@ class VertexRuntime:
         # Buffered data-movement events keyed by
         # (source_name, source_task, source_output) -> DataMovementEvent.
         self.incoming: dict[tuple[str, int, int], DataMovementEvent] = {}
+        # Buffered composite DMEs (one per source attempt, covering a
+        # whole partition range) keyed by (source_name, source_task).
+        # Kept compact and expanded lazily per consumer task at launch.
+        self.incoming_composites: dict[
+            tuple[str, int], CompositeDataMovementEvent
+        ] = {}
         # VertexManagerEvents arriving before the manager is ready.
         self.pending_vm_events: list = []
         self.start_time: Optional[float] = None

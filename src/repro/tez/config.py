@@ -41,6 +41,18 @@ class TezConfig:
     deadlock_check_interval: float = 10.0
     deadlock_pending_timeout: float = 30.0
 
+    # -- event-plane hot path (paper 3.2/5) -----------------------------------
+    # Scatter-gather producers emit one CompositeDataMovementEvent per
+    # source attempt (expanded lazily at the consumer) instead of one
+    # DataMovementEvent per partition — real Tez's compression of the
+    # m×n edge fanout. Off reproduces the historical per-partition
+    # event stream (the perf-bench baseline).
+    composite_dme: bool = True
+    # Routed DME deliveries landing on the same heartbeat tick are
+    # coalesced into a single dispatched batch (one kernel heap entry,
+    # one bus delivery) instead of one dispatcher process per event.
+    coalesce_deliveries: bool = True
+
     # -- commit ---------------------------------------------------------------
     commit_on_dag_success: bool = True
 

@@ -55,26 +55,47 @@ class DataMovementEvent(TezEvent):
 
 @dataclass
 class CompositeDataMovementEvent(TezEvent):
-    """Compact form: one event covering a contiguous partition range."""
+    """Compact form: one event covering a contiguous partition range.
+
+    Mirrors real Tez's CompositeDataMovementEvent: a scatter-gather
+    producer emits ONE of these per source attempt instead of one
+    DataMovementEvent per partition, compressing the m×n fanout of the
+    edge on the control plane. The framework expands it lazily at the
+    consumer side — only the partitions a given consumer task actually
+    reads are materialised.
+
+    ``payload`` is a shared payload for every partition (real Tez's
+    shape); ``payloads`` optionally carries one payload per partition
+    (our spill outputs produce one SpillRef per partition) and takes
+    precedence when set.
+    """
 
     source_vertex: str
     source_task_index: int
     source_output_start: int
     count: int
-    payload: Any
+    payload: Any = None
     version: int = 0
+    payloads: Optional[tuple] = None   # len == count when set
+
+    def payload_for(self, offset: int) -> Any:
+        """Payload of partition ``source_output_start + offset``."""
+        if self.payloads is not None:
+            return self.payloads[offset]
+        return self.payload
+
+    def sub_event(self, offset: int) -> DataMovementEvent:
+        """Materialise the per-partition event at ``offset``."""
+        return DataMovementEvent(
+            source_vertex=self.source_vertex,
+            source_task_index=self.source_task_index,
+            source_output_index=self.source_output_start + offset,
+            payload=self.payload_for(offset),
+            version=self.version,
+        )
 
     def expand(self) -> list[DataMovementEvent]:
-        return [
-            DataMovementEvent(
-                source_vertex=self.source_vertex,
-                source_task_index=self.source_task_index,
-                source_output_index=self.source_output_start + i,
-                payload=self.payload,
-                version=self.version,
-            )
-            for i in range(self.count)
-        ]
+        return [self.sub_event(i) for i in range(self.count)]
 
 
 @dataclass

@@ -20,6 +20,7 @@ from ...shuffle import (
     sort_records,
 )
 from ..events import (
+    CompositeDataMovementEvent,
     DataMovementEvent,
     InputReadErrorEvent,
     TezEvent,
@@ -103,16 +104,35 @@ class _SpillOutputBase(LogicalOutput):
         yield ctx.io_wait(total_bytes / spec_model.disk_write_bw)
         ctx.count("shuffle_bytes_written", total_bytes)
         events: list[TezEvent] = []
-        for ref in refs:
-            event = DataMovementEvent(
+        contiguous = all(
+            ref.partition == i for i, ref in enumerate(refs)
+        )
+        if getattr(self.spec, "composite", False) and len(refs) > 1 \
+                and contiguous:
+            # One composite per source attempt covering the whole
+            # partition range (real Tez's CompositeDataMovementEvent):
+            # the AM expands it lazily per consumer.
+            event = CompositeDataMovementEvent(
                 source_vertex=ctx.vertex_name,
                 source_task_index=ctx.task_index,
-                source_output_index=ref.partition,
-                payload=ref,
+                source_output_start=0,
+                count=len(refs),
                 version=ctx.attempt,
+                payloads=tuple(refs),
             )
             event._edge_target = self.spec.target_name
             events.append(event)
+        else:
+            for ref in refs:
+                event = DataMovementEvent(
+                    source_vertex=ctx.vertex_name,
+                    source_task_index=ctx.task_index,
+                    source_output_index=ref.partition,
+                    payload=ref,
+                    version=ctx.attempt,
+                )
+                event._edge_target = self.spec.target_name
+                events.append(event)
         if self.report_stats:
             ctx.send_event(VertexManagerEvent(
                 target_vertex=self.spec.target_name,

@@ -225,6 +225,30 @@ def test_check_cli_exits_clean(tmp_path, capsys):
     assert "ok: all transition tables sound" in report.read_text()
 
 
+def test_check_cli_dot_export(tmp_path, capsys):
+    from repro.tez.am.check import main
+
+    dot = tmp_path / "control-plane.dot"
+    assert main(["--dot", str(dot)]) == 0
+    text = dot.read_text()
+    assert text.startswith("digraph control_plane {")
+    assert text.rstrip().endswith("}")
+    for kind, table in TABLES.items():
+        assert f"subgraph cluster_{kind}" in text
+        initial = getattr(table.initial, "value", str(table.initial))
+        assert f'"{kind}.{initial}"' in text
+    # Terminal states render doubled; some transition carries a guard.
+    assert "peripheries=2" in text
+    assert "[" in text and "->" in text
+    assert f"dot: wrote {dot}" in capsys.readouterr().out
+
+
+def test_check_cli_rejects_unknown_flag(capsys):
+    from repro.tez.am.check import main
+
+    assert main(["--bogus"]) == 2
+
+
 # ------------------------------------------------------------ dispatcher
 
 class _Ping(ControlEvent):
@@ -375,3 +399,128 @@ def test_full_dag_transitions_all_legal_per_table():
         cell = TABLES[machine].cell(source, trigger)
         assert isinstance(cell, list), (machine, source, trigger)
         assert any(t.target == target for t in cell)
+
+
+# ------------------------------------------- composite DMEs & coalescing
+
+def test_composite_dme_expansion_matches_per_partition_events():
+    from repro.tez.events import (
+        CompositeDataMovementEvent,
+        DataMovementEvent,
+    )
+
+    comp = CompositeDataMovementEvent(
+        source_vertex="m", source_task_index=3, source_output_start=0,
+        count=4, payloads=("p0", "p1", "p2", "p3"), version=1,
+    )
+    expanded = comp.expand()
+    assert len(expanded) == 4
+    for offset, sub in enumerate(expanded):
+        assert isinstance(sub, DataMovementEvent)
+        assert sub.source_vertex == "m"
+        assert sub.source_task_index == 3
+        assert sub.source_output_index == offset
+        assert sub.payload == f"p{offset}"
+        assert sub.version == 1
+    assert [comp.sub_event(i).payload for i in range(4)] == \
+        [sub.payload for sub in expanded]
+
+    # Shared-payload form (real Tez's shape): every partition sees it.
+    shared = CompositeDataMovementEvent(
+        source_vertex="m", source_task_index=0, source_output_start=2,
+        count=3, payload="spill",
+    )
+    assert [shared.payload_for(i) for i in range(3)] == ["spill"] * 3
+    assert [s.source_output_index for s in shared.expand()] == [2, 3, 4]
+
+
+def test_producers_emit_one_composite_per_attempt_when_enabled():
+    """With ``composite_dme`` on, a scatter-gather producer puts ONE
+    CompositeDataMovementEvent on the control plane per attempt (vs one
+    DME per partition legacy), and consumers still read every row."""
+    from repro.tez import TezConfig
+    from repro.tez.events import (
+        CompositeDataMovementEvent,
+        DataMovementEvent,
+    )
+
+    def run(config):
+        sim = make_sim()
+        sim.hdfs.write("/in", [(i % 7, i) for i in range(200)],
+                       record_bytes=24)
+        m = fn_vertex("m", lambda c, d: {"r": list(d["src"])}, -1)
+        hdfs_source(m, "src", ["/in"])
+        r = fn_vertex("r", lambda c, d: {"out": [
+            (k, sum(vs)) for k, vs in d["m"]
+        ]}, 4)
+        hdfs_sink(r, "out", "/out")
+        dag = DAG("comp").add_vertex(m).add_vertex(r)
+        dag.add_edge(edge(m, r, SG))
+
+        client = sim.tez_client(config=config)
+        seen = {"composite": 0, "dme": 0}
+        original = client._make_am
+
+        def instrumented(ctx):
+            am = original(ctx)
+            route = am.router.route_events
+
+            def counting_route(vr, task, events):
+                for ev in events:
+                    if isinstance(ev, CompositeDataMovementEvent):
+                        seen["composite"] += 1
+                    elif isinstance(ev, DataMovementEvent):
+                        seen["dme"] += 1
+                route(vr, task, events)
+
+            am.router.route_events = counting_route
+            return am
+
+        client._make_am = instrumented
+        handle = client.submit_dag(dag)
+        sim.env.run(until=handle.completion)
+        assert handle.status.succeeded
+        return seen, tuple(sorted(sim.hdfs.read_file("/out")))
+
+    on, rows_on = run(TezConfig())
+    off, rows_off = run(TezConfig(composite_dme=False))
+    assert rows_on == rows_off
+    assert on["composite"] > 0 and on["dme"] == 0
+    assert off["composite"] == 0 and off["dme"] > 0
+    # 4-way fanout compressed: one composite replaces 4 per-partition
+    # events from each producer attempt.
+    assert off["dme"] == 4 * on["composite"]
+
+
+def test_delivery_batch_journals_each_member():
+    """A DataDeliveryBatchEvent crosses the bus once (one dispatch)
+    but the journal expands it to one canonical line per member, each
+    named DataDeliveryEvent with the batch's timestamp."""
+    from repro.tez.am.dispatcher import (
+        DataDeliveryBatchEvent,
+        DataDeliveryEvent,
+    )
+    from repro.tez.events import DataMovementEvent
+
+    env = Environment()
+    bus = Dispatcher(env)
+    bus.keep_journal = True
+    bus.ignore(DataDeliveryBatchEvent)
+    attempt = SimpleNamespace(attempt_id="d/v/t0/a0")
+    batch = DataDeliveryBatchEvent(deliveries=[
+        DataDeliveryEvent(attempt, DataMovementEvent(
+            source_vertex="m", source_task_index=t,
+            source_output_index=0, payload=None,
+        )) for t in range(3)
+    ])
+    bus.dispatch(batch)
+    assert bus.dispatched == 1
+    assert len(bus.journal) == 3
+    assert [name for (_, _, name, _) in bus.journal] == \
+        ["DataDeliveryEvent"] * 3
+    assert [summary for (*_, summary) in bus.journal] == [
+        f"d/v/t0/a0 <- m:{t}:0v0" for t in range(3)
+    ]
+    canonical = bus.canonical_journal()
+    assert canonical == [(0.0, "DataDeliveryEvent",
+                          f"d/v/t0/a0 <- m:{t}:0v0") for t in range(3)]

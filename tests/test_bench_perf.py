@@ -1,0 +1,92 @@
+"""The perf-regression harness's gating logic (no scenarios run here;
+the scenarios themselves are exercised by the CI perf-smoke job)."""
+
+from repro.bench.perf import (
+    CRITERIA,
+    TOLERANCE,
+    _legacy_config,
+    check_against,
+)
+from repro.tez import TezConfig
+
+
+def _results(mode="smoke", **ratio_overrides):
+    ratios = {"wall_speedup": 1.3, "dispatched_ratio": 3.6,
+              "heap_ratio": 2.0}
+    ratios.update(ratio_overrides)
+    return {
+        "mode": mode,
+        "scenarios": {
+            "wide_shuffle": {"ratios": dict(ratios)},
+        },
+    }
+
+
+def test_legacy_config_disables_both_optimizations():
+    legacy = _legacy_config()
+    assert not legacy.composite_dme
+    assert not legacy.coalesce_deliveries
+    default = TezConfig()
+    assert default.composite_dme and default.coalesce_deliveries
+
+
+def test_check_passes_when_ratios_hold():
+    results = _results()
+    committed = {"smoke": _results()}
+    assert check_against(results, committed) == []
+
+
+def test_check_allows_regression_within_tolerance():
+    committed = {"smoke": _results()}
+    shrunk = _results(dispatched_ratio=3.6 * (1 - TOLERANCE) + 0.001)
+    assert check_against(shrunk, committed) == []
+
+
+def test_smoke_mode_ignores_wall_noise_full_mode_gates_it():
+    """Sub-second smoke runs have noisy wall ratios: only the
+    deterministic event/heap ratios gate in smoke mode. Full mode
+    gates wall speedup too."""
+    committed = {"smoke": _results(), "full": _results(mode="full")}
+    noisy = _results(wall_speedup=0.4)
+    assert check_against(noisy, committed) == []
+    slow_full = _results(mode="full", wall_speedup=0.4,
+                         dispatched_ratio=99.0)
+    problems = check_against(slow_full, committed)
+    assert any("wide_shuffle.wall_speedup" in p for p in problems)
+
+
+def test_check_flags_regression_beyond_tolerance():
+    committed = {"smoke": _results()}
+    regressed = _results(dispatched_ratio=3.6 * (1 - TOLERANCE) - 0.1)
+    problems = check_against(regressed, committed)
+    assert len(problems) == 1
+    assert "wide_shuffle.dispatched_ratio" in problems[0]
+
+
+def test_check_requires_matching_mode_section():
+    problems = check_against(_results(mode="full"), {"smoke": _results()})
+    assert problems and "no 'full' section" in problems[0]
+
+
+def test_check_flags_scenario_missing_from_baseline():
+    committed = {"smoke": {"mode": "smoke", "scenarios": {}}}
+    problems = check_against(_results(), committed)
+    assert problems == ["wide_shuffle: not in committed baseline"]
+
+
+def test_full_mode_enforces_absolute_criteria():
+    """Full runs must clear the issue's acceptance floors regardless of
+    what the committed reference says."""
+    assert CRITERIA["wide_shuffle.dispatched_ratio"] >= 5.0
+    assert CRITERIA["wide_shuffle_buffered.wall_speedup"] >= 1.5
+    results = {
+        "mode": "full",
+        "scenarios": {
+            "wide_shuffle": {"ratios": {"dispatched_ratio": 4.0}},
+            "wide_shuffle_buffered": {"ratios": {"wall_speedup": 2.0}},
+        },
+    }
+    committed = {"full": results}
+    problems = check_against(results, committed)
+    assert len(problems) == 1
+    assert "criterion wide_shuffle.dispatched_ratio" in problems[0]

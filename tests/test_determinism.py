@@ -165,3 +165,63 @@ def test_hive_query_deterministic_end_to_end():
         return result.elapsed, tuple(result.rows)
 
     assert run() == run()
+
+
+def test_canonical_journal_invariant_under_coalescing():
+    """The optimized event plane (composite DMEs + same-tick delivery
+    batching) and the legacy per-partition plane produce the *same
+    canonical* journal: identical (time, type, summary) control-event
+    streams once batch members are expanded and kernel sequence
+    numbers stripped. Outcomes (makespan, rows) match exactly too."""
+    from repro.tez import Descriptor, TezConfig
+    from repro.tez.vertex_manager import (
+        ShuffleVertexManager,
+        ShuffleVertexManagerConfig,
+    )
+
+    def run(config):
+        sim = make_sim()
+        sim.hdfs.write("/in", [(i % 13, i) for i in range(500)],
+                       record_bytes=24)
+        m = fn_vertex("m", lambda c, d: {"r": list(d["src"])}, -1)
+        hdfs_source(m, "src", ["/in"])
+        r = fn_vertex("r", lambda c, d: {"out": [
+            (k, sum(vs)) for k, vs in d["m"]
+        ]}, 3)
+        # Eager slow-start: consumers launch at vertex start, so DMEs
+        # arrive while attempts run (the live-delivery/batching path).
+        r.vertex_manager = Descriptor(
+            ShuffleVertexManager,
+            ShuffleVertexManagerConfig(slowstart_min_fraction=0.0,
+                                       slowstart_max_fraction=0.0),
+        )
+        hdfs_sink(r, "out", "/out")
+        dag = DAG("coalesce").add_vertex(m).add_vertex(r)
+        dag.add_edge(edge(m, r, SG))
+
+        client = sim.tez_client(config=config)
+        dispatchers = []
+        original = client._make_am
+
+        def instrumented(ctx):
+            am = original(ctx)
+            am.dispatcher.keep_journal = True
+            dispatchers.append(am.dispatcher)
+            return am
+
+        client._make_am = instrumented
+        handle = client.submit_dag(dag)
+        sim.env.run(until=handle.completion)
+        assert handle.status.succeeded
+        journals = [d.canonical_journal() for d in dispatchers]
+        return (handle.status.elapsed,
+                tuple(sorted(sim.hdfs.read_file("/out"))), journals)
+
+    optimized = run(TezConfig())
+    legacy = run(TezConfig(composite_dme=False, coalesce_deliveries=False))
+    assert optimized[0] == legacy[0]          # same simulated makespan
+    assert optimized[1] == legacy[1]          # same output rows
+    assert optimized[2] == legacy[2]          # same canonical journal
+    deliveries = [line for journal in optimized[2] for line in journal
+                  if line[1] == "DataDeliveryEvent"]
+    assert deliveries, "no live deliveries — coalescing not exercised"

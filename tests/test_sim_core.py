@@ -350,3 +350,117 @@ class TestStore:
         env.process(producer())
         env.run()
         assert got == ["late"]
+
+
+class TestFastPath:
+    """The hot-path kernel surface: lazy cancellation, staged batch
+    scheduling, callback-only timers and ack-free store puts."""
+
+    def test_cancelled_event_callbacks_never_run(self):
+        env = Environment()
+        fired = []
+        ev = env.call_later(5, lambda: fired.append("a"))
+        env.call_later(7, lambda: fired.append("b"))
+        ev.cancel()
+        env.run()
+        assert fired == ["b"]
+        assert env.now == 7
+
+    def test_peek_skips_cancelled_head(self):
+        env = Environment()
+        ev = env.call_later(1, lambda: None)
+        env.call_later(4, lambda: None)
+        ev.cancel()
+        assert env.peek() == 4
+
+    def test_call_later_rejects_negative_delay(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.call_later(-1, lambda: None)
+
+    def test_schedule_many_is_one_heap_push(self):
+        env = Environment()
+        woken = []
+        events = []
+        for i in range(5):
+            ev = Event(env)
+            ev.callbacks.append(lambda e, i=i: woken.append(i))
+            events.append(ev._stage(i))
+        before = env.heap_pushes
+        env.schedule_many(events, delay=2.0)
+        assert env.heap_pushes == before + 1
+        env.run()
+        assert woken == [0, 1, 2, 3, 4]   # list order, back-to-back
+        assert env.now == 2.0
+        assert [e.value for e in events] == [0, 1, 2, 3, 4]
+
+    def test_schedule_many_rejects_pending_events(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.schedule_many([Event(env)])
+
+    def test_schedule_many_interleaves_with_ordinary_events(self):
+        env = Environment()
+        order = []
+        env.call_later(1, lambda: order.append("t1"))
+        batch = [Event(env)._stage() for _ in range(2)]
+        for i, ev in enumerate(batch):
+            ev.callbacks.append(lambda e, i=i: order.append(f"b{i}"))
+        env.schedule_many(batch, delay=1.0)
+        env.call_later(0.5, lambda: order.append("t0"))
+        env.run()
+        assert order == ["t0", "t1", "b0", "b1"]
+
+    def test_store_put_nowait_buffers_and_hands_off(self):
+        env = Environment()
+        store = Store(env)
+        store.put_nowait("x")
+        assert list(store.items) == ["x"]
+        got = []
+
+        def consumer():
+            got.append((yield store.get()))
+            got.append((yield store.get()))
+
+        env.process(consumer())
+        env.run()
+        store.put_nowait("y")       # getter waiting: direct hand-off
+        env.run()
+        assert got == ["x", "y"]
+
+    def test_store_put_nowait_full_bounded_raises(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        store.put_nowait("a")
+        with pytest.raises(RuntimeError):
+            store.put_nowait("b")
+
+    def test_store_offer_stages_waiting_getter(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer():
+            got.append((yield store.get()))
+
+        env.process(consumer())
+        env.run()
+        staged = store.offer("item")
+        assert staged is not None and staged.triggered
+        assert got == []            # staged, not yet scheduled
+        env.schedule_many([staged])
+        env.run()
+        assert got == ["item"]
+
+    def test_store_offer_buffers_when_nobody_waits(self):
+        env = Environment()
+        store = Store(env)
+        assert store.offer("solo") is None
+        assert list(store.items) == ["solo"]
+
+    def test_heap_pushes_counts_every_push(self):
+        env = Environment()
+        before = env.heap_pushes
+        env.call_later(1, lambda: None)
+        env.call_later(2, lambda: None)
+        assert env.heap_pushes == before + 2

@@ -373,3 +373,53 @@ def test_telemetry_is_ambient_and_optional():
 def test_process_accounting_counter():
     sim, client, handle = run_tpch_style()
     assert sim.telemetry.metrics.counter("sim.processes_started").value > 0
+
+
+def test_telemetry_disabled_records_nothing():
+    """``SimCluster(telemetry=False)`` turns observability into a
+    no-op: emission sites see ``get_telemetry() is None`` and skip
+    their span/event construction entirely (the perf-bench fast path)."""
+    sim = make_sim(num_nodes=2, telemetry=False)
+    assert not sim.telemetry.enabled
+    assert get_telemetry(sim.env) is None
+    assert sim.telemetry.event("x") is None
+    assert sim.telemetry.span("k", "n") is None
+    assert sim.telemetry.finish(None) is None
+
+    write_kv(sim, "/in", 200)
+    m = fn_vertex("m", lambda c, d: {"r": list(d["src"])}, -1)
+    hdfs_source(m, "src", ["/in"])
+    r = fn_vertex("r", lambda c, d: {"out": [
+        (k, sum(vs)) for k, vs in d["m"]]}, 2)
+    hdfs_sink(r, "out", "/out")
+    dag = DAG("quiet").add_vertex(m).add_vertex(r)
+    dag.add_edge(edge(m, r, SG))
+    client = sim.tez_client()
+    handle = client.submit_dag(dag)
+    sim.env.run(until=handle.completion)
+    assert handle.status.succeeded
+    assert list(sim.timeline.events()) == []
+    assert list(sim.timeline.spans()) == []
+
+
+def test_chrome_trace_state_machine_swimlanes():
+    """Every am.transition renders as an instant event on a per-machine
+    ``sm:*`` lane of the AM process."""
+    sim, client, handle = run_tpch_style()
+    events = chrome_trace(sim.timeline)
+    lanes = {m["args"]["name"]: m["tid"] for m in events
+             if m["ph"] == "M" and m["pid"] == 0
+             and m["name"] == "thread_name"}
+    sm_lanes = {name: tid for name, tid in lanes.items()
+                if name.startswith("sm:")}
+    assert {"sm:dag", "sm:vertex", "sm:task", "sm:attempt"} <= \
+        set(sm_lanes)
+    instants = [e for e in events
+                if e["ph"] == "i" and e.get("cat") == "am.sm"]
+    assert instants
+    assert {e["tid"] for e in instants} == set(sm_lanes.values())
+    transitions = len(list(sim.timeline.events(kind="am.transition")))
+    assert len(instants) == transitions
+    for e in instants:
+        assert "->" in e["name"]
+        assert e["pid"] == 0
