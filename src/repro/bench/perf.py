@@ -3,15 +3,18 @@
 Usage::
 
     python -m repro.bench.perf [--smoke] [--profile] [--check]
-                               [--update] [--out PATH]
+                               [--update] [--only NAMES] [--out PATH]
 
-Every scenario runs twice on identical workloads: once with the
-legacy event plane (``composite_dme=False, coalesce_deliveries=False``
-— the pre-overhaul behaviour, kept as a config flag exactly so it can
+Every scenario runs twice on identical workloads: once with every
+legacy flag (``composite_dme=False, coalesce_deliveries=False,
+indexed_scheduler=False`` — plus, in the scheduler scenario, the
+pre-overhaul scan-everything YARN scheduler and tick-every-heartbeat
+RM — the historical behaviour, kept as config flags exactly so it can
 serve as this baseline) and once with the optimized defaults. The
 simulated makespan must be *identical* between the two runs — the
-overhaul changes how the simulator executes, never what it computes —
-and the suite asserts that on every scenario.
+overhauls change how the simulator executes, never what it computes —
+and the suite asserts that on every scenario (plus exact
+allocation-log equality where a scenario records one).
 
 Scenarios:
 
@@ -30,6 +33,13 @@ Scenarios:
 * ``chaos`` — a shuffle job with a node crash mid-run: the recovery
   and re-routing hot path, and a determinism check that the optimized
   event plane reproduces the legacy makespan under faults.
+* ``sched_heavy`` — the YARN allocation hot path: a 500-node
+  multi-queue cluster driven directly through the RM with >20k
+  locality-tagged container asks (no DAGs). Optimized mode enables the
+  incremental CapacityScheduler, event-driven RM ticks and the indexed
+  Tez ask book; the scenario asserts the allocation log is *exactly*
+  equal to the legacy scan-everything scheduler's and measures the
+  wall-clock ratio (the ">= 1.5x" criterion lives here too).
 
 Metrics per (scenario, mode): host wall-clock seconds, dispatcher
 events dispatched, kernel heap pushes, simulated makespan. The
@@ -43,6 +53,7 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import hashlib
 import io
 import json
 import pstats
@@ -51,6 +62,12 @@ import time
 from pathlib import Path
 
 from .. import FaultPlan, SimCluster
+from ..yarn import (
+    FinalApplicationStatus,
+    Priority,
+    QueueConfig,
+    Resource,
+)
 from ..tez import (
     DAG,
     DataMovementType,
@@ -85,13 +102,14 @@ BASELINE_PATH = REPO_ROOT / "BENCH_perf.json"
 CRITERIA = {
     "wide_shuffle.dispatched_ratio": 5.0,
     "wide_shuffle_buffered.wall_speedup": 1.5,
+    "sched_heavy.wall_speedup": 1.5,
 }
 TOLERANCE = 0.20   # allowed ratio drop vs the committed reference
 
 
 def _legacy_config(**kwargs) -> TezConfig:
     return TezConfig(composite_dme=False, coalesce_deliveries=False,
-                     **kwargs)
+                     indexed_scheduler=False, **kwargs)
 
 
 def _sg_edge(src: Vertex, dst: Vertex) -> Edge:
@@ -225,21 +243,134 @@ def chaos(config: TezConfig, smoke: bool) -> dict:
     return _timed_run(sim, dag, config, plan=plan)
 
 
+def sched_heavy(config: TezConfig, smoke: bool) -> dict:
+    """The YARN allocation hot path, driven directly through the RM.
+
+    A large multi-queue cluster and a dozen AMs issuing waves of
+    locality-tagged single-container asks (>20k total at full size) —
+    no Tez DAGs, so host time concentrates in
+    ``CapacityScheduler.tick``. ``config.indexed_scheduler`` selects
+    the mode for *all three* scheduler overhauls (incremental
+    accounting + indexed ask books, event-driven RM ticks, indexed Tez
+    slot matching — the first two live on ``ClusterSpec``); both modes
+    must produce an identical allocation log, compared by run_suite via
+    ``alloc_digest`` with app ids normalized to submission order."""
+    optimized = config.indexed_scheduler
+    num_nodes = 60 if smoke else 500
+    num_apps = 6 if smoke else 12
+    waves = 2 if smoke else 6
+    asks_per_wave = 40 if smoke else 300
+    sim = SimCluster(
+        num_nodes=num_nodes,
+        nodes_per_rack=10 if smoke else 25,
+        cores_per_node=16,
+        memory_per_node_mb=16 * 1024,
+        heartbeat_interval=1.0,
+        scheduler_incremental=optimized,
+        event_driven_ticks=optimized,
+        queues=[
+            QueueConfig("prod", 0.5, 0.9),
+            QueueConfig("batch", 0.3, 0.7),
+            QueueConfig("adhoc", 0.2, 0.6),
+        ],
+        telemetry=False,
+    )
+    env = sim.env
+    capability = Resource(4096, 4)
+    queue_names = ["prod", "batch", "adhoc"]
+
+    def make_am(app_idx: int):
+        def am(ctx):
+            ctx.register()
+            for wave in range(waves):
+                for i in range(asks_per_wave):
+                    # Deterministic pseudo-random node preference so
+                    # asks spread over nodes and racks without RNG.
+                    h = (app_idx * 7919 + wave * 104729 + i * 31) \
+                        % num_nodes
+                    ctx.request_containers(
+                        Priority(2 + (i % 3)), capability,
+                        nodes=[f"node{h:04d}"],
+                    )
+
+                def launcher(wave=wave):
+                    for done in range(asks_per_wave):
+                        c = yield ctx.allocated.get()
+                        dur = 0.25 + ((app_idx + done) % 7) * 0.125
+
+                        def task(container, dur=dur):
+                            yield env.timeout(
+                                container.compute_delay(dur))
+
+                        ctx.launch_container(c, task)
+
+                env.process(launcher())
+                for _ in range(asks_per_wave):
+                    yield ctx.completed.get()
+            ctx.unregister(FinalApplicationStatus.SUCCEEDED)
+        return am
+
+    handles = [
+        sim.rm.submit_application(
+            f"load{i}", make_am(i), queue=queue_names[i % 3],
+        )
+        for i in range(num_apps)
+    ]
+    t0 = time.perf_counter()
+    for handle in handles:
+        env.run(until=handle.completion)
+    wall = time.perf_counter() - t0
+    for handle in handles:
+        assert handle.final_status == FinalApplicationStatus.SUCCEEDED, (
+            handle.diagnostics
+        )
+    # Normalize app ids to submission order: ApplicationId draws from a
+    # process-global counter, so raw ids differ between the baseline
+    # and optimized runs even though the schedules are identical.
+    app_names = {
+        str(handle.app_id): f"app{i}" for i, handle in enumerate(handles)
+    }
+    log = sim.rm.scheduler.allocation_log
+    normalized = [
+        (t, app_names.get(app, app), node, level)
+        for (t, app, node, level) in log
+    ]
+    digest = hashlib.sha256(repr(normalized).encode()).hexdigest()
+    return {
+        "wall_s": round(wall, 4),
+        "heap_pushes": sim.env.heap_pushes,
+        "sim_makespan": max(h.finish_time for h in handles),
+        "allocations": len(log),
+        "alloc_digest": digest,
+        "ticks_skipped": sim.rm.ticks_skipped,
+    }
+
+
 SCENARIOS = {
     "wide_shuffle": lambda cfg, smoke: wide_shuffle(cfg, smoke),
     "wide_shuffle_buffered":
         lambda cfg, smoke: wide_shuffle(cfg, smoke, buffered=True),
     "diamond": diamond,
     "chaos": chaos,
+    "sched_heavy": sched_heavy,
 }
 
 
 # ------------------------------------------------------------------ driver
 
-def run_suite(smoke: bool = False, profile: bool = False) -> dict:
+def run_suite(smoke: bool = False, profile: bool = False,
+              only: list[str] = None) -> dict:
     mode = "smoke" if smoke else "full"
+    selected = dict(SCENARIOS)
+    if only:
+        unknown = [n for n in only if n not in SCENARIOS]
+        if unknown:
+            raise ValueError(f"unknown scenario(s): {', '.join(unknown)}")
+        selected = {n: SCENARIOS[n] for n in only}
     results: dict = {"mode": mode, "scenarios": {}}
-    for name, scenario in SCENARIOS.items():
+    if only:
+        results["partial"] = True
+    for name, scenario in selected.items():
         print(f"[{mode}] {name}: baseline (legacy event plane) ...",
               flush=True)
         base = scenario(_legacy_config(), smoke)
@@ -259,26 +390,38 @@ def run_suite(smoke: bool = False, profile: bool = False) -> dict:
             raise AssertionError(
                 f"{name}: simulated makespan diverged — legacy "
                 f"{base['sim_makespan']} vs optimized "
-                f"{opt['sim_makespan']}: the event-plane overhaul must "
+                f"{opt['sim_makespan']}: the hot-path overhauls must "
                 f"not change simulated results"
+            )
+        if base.get("alloc_digest") != opt.get("alloc_digest"):
+            raise AssertionError(
+                f"{name}: allocation log diverged — the scheduler "
+                f"overhaul must place every container on the same node "
+                f"at the same time as the legacy scheduler"
             )
         ratios = {
             "wall_speedup": round(
                 base["wall_s"] / max(opt["wall_s"], 1e-9), 3),
-            "dispatched_ratio": round(
-                base["dispatched"] / max(opt["dispatched"], 1), 3),
             "heap_ratio": round(
                 base["heap_pushes"] / max(opt["heap_pushes"], 1), 3),
         }
+        if "dispatched" in base:
+            ratios["dispatched_ratio"] = round(
+                base["dispatched"] / max(opt["dispatched"], 1), 3)
         results["scenarios"][name] = {
             "baseline": base, "optimized": opt, "ratios": ratios,
         }
+        extra = ""
+        if "dispatched" in base:
+            extra = (f", dispatched {base['dispatched']} -> "
+                     f"{opt['dispatched']} "
+                     f"({ratios['dispatched_ratio']}x)")
+        if "ticks_skipped" in opt:
+            extra += f", ticks skipped {opt['ticks_skipped']}"
         print(f"[{mode}] {name}: wall {base['wall_s']}s -> "
-              f"{opt['wall_s']}s ({ratios['wall_speedup']}x), "
-              f"dispatched {base['dispatched']} -> {opt['dispatched']} "
-              f"({ratios['dispatched_ratio']}x), heap "
+              f"{opt['wall_s']}s ({ratios['wall_speedup']}x), heap "
               f"{base['heap_pushes']} -> {opt['heap_pushes']} "
-              f"({ratios['heap_ratio']}x)", flush=True)
+              f"({ratios['heap_ratio']}x)" + extra, flush=True)
     return results
 
 
@@ -317,6 +460,8 @@ def check_against(results: dict, committed: dict) -> list[str]:
     if mode == "full":
         for target, minimum in CRITERIA.items():
             scen, key = target.split(".")
+            if results.get("partial") and scen not in results["scenarios"]:
+                continue   # --only run: criterion's scenario not selected
             value = (results["scenarios"].get(scen, {})
                      .get("ratios", {}).get(key))
             if value is None:
@@ -342,11 +487,14 @@ def main(argv: list[str] = None) -> int:
                              "committed BENCH_perf.json")
     parser.add_argument("--update", action="store_true",
                         help="merge results into BENCH_perf.json")
+    parser.add_argument("--only", metavar="NAMES",
+                        help="comma-separated subset of scenarios to run")
     parser.add_argument("--out", metavar="PATH",
                         help="also write results JSON to PATH")
     args = parser.parse_args(argv)
 
-    results = run_suite(smoke=args.smoke, profile=args.profile)
+    only = args.only.split(",") if args.only else None
+    results = run_suite(smoke=args.smoke, profile=args.profile, only=only)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(results, fh, indent=2, sort_keys=True)
@@ -355,7 +503,13 @@ def main(argv: list[str] = None) -> int:
         committed = {}
         if BASELINE_PATH.exists():
             committed = json.loads(BASELINE_PATH.read_text())
-        committed[results["mode"]] = results
+        # Merge per scenario so an --only run refreshes just the
+        # scenarios it ran, preserving the rest of the section.
+        section = committed.setdefault(
+            results["mode"], {"mode": results["mode"], "scenarios": {}})
+        section["mode"] = results["mode"]
+        section.pop("partial", None)
+        section.setdefault("scenarios", {}).update(results["scenarios"])
         BASELINE_PATH.write_text(
             json.dumps(committed, indent=2, sort_keys=True) + "\n")
         print(f"updated {BASELINE_PATH}")

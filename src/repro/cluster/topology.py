@@ -48,9 +48,14 @@ class Node:
         # (the straggler scenario speculation targets).
         self.speed = 1.0
         self._crash_listeners: list[Callable[["Node"], None]] = []
+        self._restart_listeners: list[Callable[["Node"], None]] = []
 
     def on_crash(self, callback: Callable[["Node"], None]) -> None:
         self._crash_listeners.append(callback)
+
+    def on_restart(self, callback: Callable[["Node"], None]) -> None:
+        """Fires on a dead->alive transition (not on no-op restarts)."""
+        self._restart_listeners.append(callback)
 
     def crash(self) -> None:
         if not self.alive:
@@ -60,8 +65,12 @@ class Node:
             callback(self)
 
     def restart(self) -> None:
+        was_dead = not self.alive
         self.alive = True
         self.speed = 1.0
+        if was_dead:
+            for callback in list(self._restart_listeners):
+                callback(self)
 
     def __repr__(self) -> str:
         state = "up" if self.alive else "down"

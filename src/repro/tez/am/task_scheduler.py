@@ -10,6 +10,8 @@ can be shared (multi-tenancy, paper 4.3).
 
 from __future__ import annotations
 
+import itertools
+from bisect import insort
 from typing import Any, Callable, Generator, Optional
 
 from ...sim import Environment, Interrupt, Store
@@ -57,9 +59,12 @@ class TaskRequest:
 class _Slot:
     """Scheduler-side state of one held container."""
 
-    def __init__(self, container: Container, mailbox: Store):
+    def __init__(self, container: Container, mailbox: Store, seq: int = 0):
         self.container = container
         self.mailbox = mailbox
+        # Creation order; reuse ties break on the lowest seq, which is
+        # exactly the slots-dict insertion order the legacy scans used.
+        self.seq = seq
         self.current: Optional[TaskAttempt] = None
         self.idle_since: Optional[float] = None
         self.launched = False
@@ -87,6 +92,20 @@ class TaskSchedulerService:
         self.slots: dict[Any, _Slot] = {}   # ContainerId -> _Slot
         self.blacklisted: set[str] = set()  # nodes the AM avoids
         self._stopped = False
+        # Indexed hot path (TezConfig.indexed_scheduler): attempt->slot
+        # and attempt->request maps plus idle-slot indexes keyed by
+        # node and rack replace the linear scans in _slot_of,
+        # deallocate and _find_reusable_slot. Index entries may be
+        # stale w.r.t. node death or blacklisting; every lookup
+        # re-validates candidates with the same predicate the legacy
+        # scan applied.
+        self._indexed = bool(getattr(config, "indexed_scheduler", True))
+        self._slot_seq = itertools.count(1)
+        self._slot_by_attempt: dict[TaskAttempt, _Slot] = {}
+        self._pending_by_attempt: dict[TaskAttempt, TaskRequest] = {}
+        self._idle_slots: dict[int, _Slot] = {}          # seq -> slot
+        self._idle_by_node: dict[str, dict[int, _Slot]] = {}
+        self._idle_by_rack: dict[str, dict[int, _Slot]] = {}
         self.session_waiting = False  # between DAGs: longer idle timeout
         # Metrics live in a registry (typically the owning AM's) so the
         # AM's per-DAG delta accounting and these counters cannot drift.
@@ -139,12 +158,27 @@ class TaskSchedulerService:
             self._c_reuse.inc()
             self._assign(slot, request, reuse=True)
             return
-        self.pending.append(request)
-        self.pending.sort(key=lambda r: (r.priority, r.queued_at or 0))
+        if self._indexed:
+            # insort lands after equal (priority, queued_at) keys — the
+            # same order append-then-stable-sort produced.
+            insort(self.pending, request,
+                   key=lambda r: (r.priority, r.queued_at or 0))
+            self._pending_by_attempt[request.attempt] = request
+        else:
+            self.pending.append(request)
+            self.pending.sort(key=lambda r: (r.priority, r.queued_at or 0))
         self._ask_yarn(request)
 
     def deallocate(self, request_attempt: TaskAttempt) -> bool:
         """Remove a not-yet-running attempt from the queue."""
+        if self._indexed:
+            req = self._pending_by_attempt.pop(request_attempt, None)
+            if req is None:
+                return False
+            self.pending.remove(req)
+            if req.asked_yarn:
+                self._cancel_ask(req)
+            return True
         for req in list(self.pending):
             if req.attempt is request_attempt:
                 self.pending.remove(req)
@@ -174,6 +208,15 @@ class TaskSchedulerService:
             self.release_slot(slot)
 
     def _slot_of(self, attempt: TaskAttempt) -> Optional[_Slot]:
+        if self._indexed:
+            slot = self._slot_by_attempt.get(attempt)
+            if (
+                slot is not None
+                and slot.current is attempt
+                and self.slots.get(slot.container.container_id) is slot
+            ):
+                return slot
+            return None
         for slot in self.slots.values():
             if slot.current is attempt:
                 return slot
@@ -183,6 +226,10 @@ class TaskSchedulerService:
         if slot.releasing:
             return
         slot.releasing = True
+        self._unmark_idle(slot)
+        current = slot.current
+        if current is not None and self._slot_by_attempt.get(current) is slot:
+            del self._slot_by_attempt[current]
         self._c_released.inc()
         self.slots.pop(slot.container.container_id, None)
         self.ctx.release_container(slot.container.container_id)
@@ -257,7 +304,13 @@ class TaskSchedulerService:
             slot = self.slots.pop(status.container_id, None)
             if slot is None:
                 continue
+            self._unmark_idle(slot)
             attempt = slot.current
+            if (
+                attempt is not None
+                and self._slot_by_attempt.get(attempt) is slot
+            ):
+                del self._slot_by_attempt[attempt]
             if attempt is not None and not getattr(attempt, "killing", False):
                 externally_ended = (
                     AttemptEndReason.PREEMPTED
@@ -285,11 +338,13 @@ class TaskSchedulerService:
             self.ctx.release_container(container.container_id)
             return
         mailbox = Store(self.env)
-        slot = _Slot(container, mailbox)
+        slot = _Slot(container, mailbox, seq=next(self._slot_seq))
         self.slots[container.container_id] = slot
+        self._mark_idle(slot)
         request = self._match_pending(container)
         if request is not None:
             self.pending.remove(request)
+            self._pending_by_attempt.pop(request.attempt, None)
             if request.asked_yarn:
                 request.asked_yarn = False  # consumed by this allocation
             self._assign(slot, request)
@@ -300,9 +355,48 @@ class TaskSchedulerService:
             slot.mailbox.put(_WARMUP)
 
     # ------------------------------------------------------------- matching
+    def _mark_idle(self, slot: _Slot) -> None:
+        """Enter ``slot`` into the idle indexes (indexed mode).
+
+        Invariant: indexed iff the slot is in ``self.slots`` with no
+        current attempt and not releasing — the same moment the legacy
+        scan would have started offering it for reuse.
+        """
+        if not self._indexed:
+            return
+        if slot.releasing or slot.current is not None:
+            return
+        if self.slots.get(slot.container.container_id) is not slot:
+            return
+        self._idle_slots[slot.seq] = slot
+        self._idle_by_node.setdefault(
+            slot.container.node_id, {}
+        )[slot.seq] = slot
+        self._idle_by_rack.setdefault(
+            slot.container.node.rack, {}
+        )[slot.seq] = slot
+
+    def _unmark_idle(self, slot: _Slot) -> None:
+        if not self._indexed:
+            return
+        if self._idle_slots.pop(slot.seq, None) is None:
+            return
+        bucket = self._idle_by_node.get(slot.container.node_id)
+        if bucket is not None:
+            bucket.pop(slot.seq, None)
+            if not bucket:
+                del self._idle_by_node[slot.container.node_id]
+        bucket = self._idle_by_rack.get(slot.container.node.rack)
+        if bucket is not None:
+            bucket.pop(slot.seq, None)
+            if not bucket:
+                del self._idle_by_rack[slot.container.node.rack]
+
     def _find_reusable_slot(self, request: TaskRequest) -> Optional[_Slot]:
         if not self.config.container_reuse:
             return None
+        if self._indexed:
+            return self._find_reusable_indexed(request)
         idle = [
             s for s in self.slots.values()
             if s.current is None and not s.releasing
@@ -328,6 +422,51 @@ class TaskSchedulerService:
             return idle[0]
         if self.config.reuse_any_fallback:
             return idle[0]
+        return None
+
+    def _find_reusable_indexed(self, request: TaskRequest) -> Optional[_Slot]:
+        """Index-backed reuse matching, same selection as the scan:
+        node match first, then rack, then any — each level picking the
+        lowest-seq (earliest-created) usable idle slot."""
+
+        def usable(slot: _Slot) -> bool:
+            return (
+                slot.current is None and not slot.releasing
+                and slot.container.node.alive
+                and slot.container.node_id not in self.blacklisted
+                and request.capability.fits_in(slot.container.resource)
+            )
+
+        def best_in(buckets: list[dict[int, _Slot]]) -> Optional[_Slot]:
+            found: Optional[_Slot] = None
+            for bucket in buckets:
+                for seq, slot in bucket.items():
+                    if (found is None or seq < found.seq) and usable(slot):
+                        found = slot
+            return found
+
+        if request.nodes:
+            slot = best_in([
+                b for n in request.nodes
+                if (b := self._idle_by_node.get(n)) is not None
+            ])
+            if slot is not None:
+                return slot
+        racks = set(request.racks) | {
+            self.cluster.nodes[n].rack
+            for n in request.nodes if n in self.cluster.nodes
+        }
+        if racks and self.config.reuse_rack_fallback:
+            slot = best_in([
+                b for r in racks
+                if (b := self._idle_by_rack.get(r)) is not None
+            ])
+            if slot is not None:
+                return slot
+        if not request.nodes and not racks:
+            return best_in([self._idle_slots])
+        if self.config.reuse_any_fallback:
+            return best_in([self._idle_slots])
         return None
 
     def _match_pending(self, container: Container) -> Optional[TaskRequest]:
@@ -396,6 +535,7 @@ class TaskSchedulerService:
                         break
         if request is not None:
             self.pending.remove(request)
+            self._pending_by_attempt.pop(request.attempt, None)
             if request.asked_yarn:
                 self._cancel_ask(request)
             self._c_reuse.inc()
@@ -408,6 +548,9 @@ class TaskSchedulerService:
                 reuse: bool = False) -> None:
         slot.current = request.attempt
         slot.idle_since = None
+        if self._indexed:
+            self._unmark_idle(slot)
+            self._slot_by_attempt[request.attempt] = slot
         self._c_placed.inc()
         request.attempt.container = slot.container
         request.attempt.node_id = slot.container.node_id
@@ -488,6 +631,11 @@ class TaskSchedulerService:
                 error = exc
             slot.container.tasks_run += 1
             slot.current = None
+            if self._indexed:
+                self._slot_by_attempt.pop(attempt, None)
+                # Reusable again from this instant: the attempt-exit
+                # callback below may schedule() synchronously.
+                self._mark_idle(slot)
             entry = TaskTraceEntry(
                 container_id=str(slot.container.container_id),
                 attempt_id=attempt.attempt_id,

@@ -52,6 +52,13 @@ class TezConfig:
     # coalesced into a single dispatched batch (one kernel heap entry,
     # one bus delivery) instead of one dispatcher process per event.
     coalesce_deliveries: bool = True
+    # Task-scheduler hot path: attempt->slot map plus idle-slot indexes
+    # keyed by node and rack replace the linear scans in _slot_of,
+    # deallocate and _find_reusable_slot. Selection order (first idle
+    # slot in container-creation order per locality level) is
+    # unchanged. Off reproduces the historical scan-everything matcher
+    # (the perf-bench baseline).
+    indexed_scheduler: bool = True
 
     # -- commit ---------------------------------------------------------------
     commit_on_dag_success: bool = True

@@ -10,6 +10,7 @@ hook Tez AM recovery builds on), and drives the scheduler tick.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Generator, Optional
 
 from ..cluster import Cluster, Node
@@ -173,6 +174,8 @@ class AMContext:
             self.app.blacklist.add(node_id)
         for node_id in removals:
             self.app.blacklist.discard(node_id)
+        # A blacklist change can unblock (or block) the next tick.
+        self.rm.scheduler.mark_dirty()
 
     def headroom(self) -> Resource:
         """Free capacity currently available on schedulable nodes."""
@@ -233,6 +236,24 @@ class ResourceManager:
         self.scheduler.node_filter = self.node_schedulable
         for node in cluster.nodes.values():
             node.on_crash(self._on_node_crash)
+        # Event-driven ticking: heartbeats that provably cannot change
+        # scheduler state are skipped (see CapacityScheduler.skip_tick
+        # for why the allocation order is unaffected).
+        self._event_driven = bool(
+            getattr(self.spec, "event_driven_ticks", True)
+        )
+        self.ticks_skipped = 0
+        telemetry = get_telemetry(env)
+        if telemetry is not None:
+            self._m_ticks_skipped = telemetry.metrics.counter(
+                "yarn.scheduler.ticks_skipped"
+            )
+            self._h_tick_seconds = telemetry.metrics.histogram(
+                "yarn.scheduler.tick_seconds"
+            )
+        else:
+            self._m_ticks_skipped = None
+            self._h_tick_seconds = None
         self._running = True
         env.process(self._tick_loop(), name="rm-scheduler-tick")
 
@@ -240,7 +261,16 @@ class ResourceManager:
     def _tick_loop(self) -> Generator:
         while self._running:
             self._check_node_liveness()
-            self.scheduler.tick()
+            if self._event_driven and not self.scheduler.needs_tick():
+                self.scheduler.skip_tick()
+                self.ticks_skipped += 1
+                if self._m_ticks_skipped is not None:
+                    self._m_ticks_skipped.inc()
+            else:
+                start = perf_counter()
+                self.scheduler.tick()
+                if self._h_tick_seconds is not None:
+                    self._h_tick_seconds.observe(perf_counter() - start)
             yield self.env.timeout(self.spec.heartbeat_interval)
 
     def stop(self) -> None:
@@ -372,6 +402,7 @@ class ResourceManager:
         ):
             self.node_states[node_id] = NodeState.RUNNING
             self.nodes_recovered_total += 1
+            self.scheduler.invalidate_nodes()
             telemetry = get_telemetry(self.env)
             if telemetry is not None:
                 telemetry.event("yarn.node_recovered", node=node_id)
@@ -396,6 +427,7 @@ class ResourceManager:
         """Declare a node LOST: kill its containers, tell every AM."""
         self.node_states[node_id] = NodeState.LOST
         self.nodes_lost_total += 1
+        self.scheduler.invalidate_nodes()
         telemetry = get_telemetry(self.env)
         if telemetry is not None:
             telemetry.event("yarn.node_lost", node=node_id)

@@ -9,6 +9,22 @@ style against node-level, rack-level and ANY asks, with delay
 scheduling [Zaharia et al., EuroSys'10]: an application holding
 node-local asks declines non-local offers until it has skipped a
 configurable number of scheduling opportunities.
+
+Two execution modes share one decision procedure (see DESIGN.md
+"Scheduler hot paths"):
+
+* **incremental** (``ClusterSpec.scheduler_incremental``, the default)
+  keeps per-queue used and cluster-total resources as running
+  aggregates, reverse ask indexes (node -> {(app, priority)},
+  rack -> {(app, priority)}, any-pending and local-pending app sets), a
+  cached app ordering invalidated only when usage ratios change, and
+  memoized per-table nonzero-entry counters. Empty ask tables are
+  pruned. Resource arithmetic is integer-exact, so every cached value
+  equals what the scan would compute and the allocation log is
+  bit-identical to legacy mode.
+* **legacy** recomputes everything by scanning live containers and
+  nodes on every fit check — the pre-overhaul behaviour, kept as the
+  ``sched_heavy`` perf-bench baseline.
 """
 
 from __future__ import annotations
@@ -38,6 +54,8 @@ NODE_LOCAL = "NODE_LOCAL"
 RACK_LOCAL_LEVEL = "RACK_LOCAL"
 OFF_SWITCH = "OFF_SWITCH"
 
+_ZERO = Resource(0, 0)
+
 
 @dataclass
 class QueueConfig:
@@ -60,6 +78,10 @@ class _AskTable:
     this priority; per-level counts only steer placement. (A request
     listing three candidate nodes is still a request for *one*
     container.)
+
+    ``node_nonzero``/``rack_nonzero`` count the entries currently > 0;
+    they are maintained only on the incremental path (``fast``) where
+    they memoize :meth:`has_node_asks`/:meth:`has_rack_asks`.
     """
 
     capability: Resource
@@ -67,14 +89,21 @@ class _AskTable:
     rack_counts: dict[str, int] = field(default_factory=dict)
     any_count: int = 0
     total: int = 0
+    node_nonzero: int = 0
+    rack_nonzero: int = 0
+    fast: bool = False
 
     def pending(self) -> int:
         return max(0, self.total)
 
     def has_node_asks(self) -> bool:
+        if self.fast:
+            return self.node_nonzero > 0
         return any(v > 0 for v in self.node_counts.values())
 
     def has_rack_asks(self) -> bool:
+        if self.fast:
+            return self.rack_nonzero > 0
         return any(v > 0 for v in self.rack_counts.values())
 
 
@@ -91,6 +120,17 @@ class SchedulerApp:
         self.missed_opportunities = 0
         self._container_seq = itertools.count(1)
         self.on_allocate: Optional[Callable[[Container], None]] = None
+        # Set by CapacityScheduler.add_app: ask mutations notify the
+        # scheduler (dirty flag + reverse-index maintenance).
+        self._scheduler: Optional["CapacityScheduler"] = None
+        # Running sum of live-container resources (incremental mode).
+        self._used: Resource = _ZERO
+
+    def _fast_scheduler(self) -> Optional["CapacityScheduler"]:
+        sched = self._scheduler
+        if sched is not None and sched.incremental:
+            return sched
+        return None
 
     # -- ask bookkeeping ---------------------------------------------------
     def add_ask(
@@ -102,9 +142,10 @@ class SchedulerApp:
         relax_locality: bool,
         count: int = 1,
     ) -> None:
+        sched = self._fast_scheduler()
         table = self.asks.get(priority)
         if table is None:
-            table = _AskTable(capability)
+            table = _AskTable(capability, fast=sched is not None)
             self.asks[priority] = table
         elif table.capability != capability:
             raise ValueError(
@@ -112,12 +153,23 @@ class SchedulerApp:
                 f"{table.capability} vs {capability}"
             )
         for node in nodes:
-            table.node_counts[node] = table.node_counts.get(node, 0) + count
+            old = table.node_counts.get(node, 0)
+            table.node_counts[node] = old + count
+            if sched is not None and old <= 0 < old + count:
+                sched._index_node_up(self, priority, table, node)
         for rack in racks:
-            table.rack_counts[rack] = table.rack_counts.get(rack, 0) + count
+            old = table.rack_counts.get(rack, 0)
+            table.rack_counts[rack] = old + count
+            if sched is not None and old <= 0 < old + count:
+                sched._index_rack_up(self, priority, table, rack)
         if relax_locality or (not nodes and not racks):
-            table.any_count += count
+            old = table.any_count
+            table.any_count = old + count
+            if sched is not None and old <= 0 < old + count:
+                sched._index_any_up(self)
         table.total += count
+        if self._scheduler is not None:
+            self._scheduler.mark_dirty()
 
     def remove_ask(
         self,
@@ -130,22 +182,39 @@ class SchedulerApp:
         table = self.asks.get(priority)
         if table is None:
             return
+        sched = self._fast_scheduler()
         for node in nodes:
-            table.node_counts[node] = max(
-                0, table.node_counts.get(node, 0) - count
-            )
+            old = table.node_counts.get(node, 0)
+            table.node_counts[node] = max(0, old - count)
+            if sched is not None and old > 0 >= old - count:
+                sched._index_node_down(self, priority, table, node)
         for rack in racks:
-            table.rack_counts[rack] = max(
-                0, table.rack_counts.get(rack, 0) - count
-            )
+            old = table.rack_counts.get(rack, 0)
+            table.rack_counts[rack] = max(0, old - count)
+            if sched is not None and old > 0 >= old - count:
+                sched._index_rack_down(self, priority, table, rack)
         if relax_locality or (not nodes and not racks):
-            table.any_count = max(0, table.any_count - count)
+            old = table.any_count
+            table.any_count = max(0, old - count)
+            if sched is not None and old > 0 >= old - count:
+                sched._index_any_down(self)
         table.total = max(0, table.total - count)
+        if sched is not None:
+            sched._maybe_prune(self, priority, table)
+        if self._scheduler is not None:
+            self._scheduler.mark_dirty()
 
     def total_pending(self) -> int:
         return sum(t.pending() for t in self.asks.values())
 
     def used_resource(self) -> Resource:
+        """Resources held by this app's live containers.
+
+        A cheap accessor in incremental mode (the sum is maintained on
+        allocate/complete); the historical per-call scan otherwise.
+        """
+        if self._fast_scheduler() is not None:
+            return self._used
         total = Resource(0, 0)
         for c in self.live_containers.values():
             total = total + c.resource
@@ -185,21 +254,233 @@ class CapacityScheduler:
         self.preemption_enabled = preemption_enabled
         # Extra schedulability predicate (the RM plugs in its liveness
         # view so LOST-but-running nodes receive no new containers).
+        # Set it before the first tick: the incremental node cache is
+        # built from it.
         self.node_filter: Optional[Callable[[str], bool]] = None
         self._tick_offset = 0
         self.allocation_log: list[tuple[float, str, str, str]] = []
+
+        self.incremental = bool(
+            getattr(cluster.spec, "scheduler_incremental", True)
+        )
+        # Event-driven tick support (used by the RM): the scheduler is
+        # dirty until a tick provably changes nothing, and skipped
+        # heartbeats bank their node-rotation advance so the rotation
+        # phase matches a tick-every-heartbeat run exactly.
+        self._dirty = True
+        self._last_node_count = 0
+        # Incremental running aggregates and reverse ask indexes.
+        self._queue_used: dict[str, Resource] = {
+            name: _ZERO for name in self.queues
+        }
+        self._cluster_total: Resource = _ZERO
+        self._order_cache: Optional[list[SchedulerApp]] = None
+        self._node_cache: Optional[list[str]] = None
+        # node id -> {app id -> {priorities with node asks there}}
+        self._node_index: dict[str, dict[ApplicationId, set[Priority]]] = {}
+        self._rack_index: dict[str, dict[ApplicationId, set[Priority]]] = {}
+        # app id -> refcount of ask tables with any-level asks
+        self._any_apps: dict[ApplicationId, int] = {}
+        # app id -> refcount of tables holding node-level asks anywhere.
+        # These apps must be consulted on *every* node offer: declining
+        # one is what advances their delay-scheduling missed count.
+        self._local_apps: dict[ApplicationId, int] = {}
+        for nm in node_managers.values():
+            if self.incremental and nm.node.alive:
+                self._cluster_total = self._cluster_total + nm.total
+            nm.node.on_crash(self._on_node_down)
+            nm.node.on_restart(self._on_node_up)
 
     # -- registration -------------------------------------------------------
     def add_app(self, app: SchedulerApp) -> None:
         if app.queue not in self.queues:
             raise ValueError(f"unknown queue {app.queue!r}")
         self.apps[app.app_id] = app
+        app._scheduler = self
+        if self.incremental:
+            used = Resource(0, 0)
+            for c in app.live_containers.values():
+                used = used + c.resource
+            app._used = used
+            self._queue_used[app.queue] = self._queue_used[app.queue] + used
+            for priority, table in app.asks.items():
+                self._index_table(app, priority, table)
+            self._order_cache = None
+        self.mark_dirty()
 
     def remove_app(self, app_id: ApplicationId) -> None:
-        self.apps.pop(app_id, None)
+        app = self.apps.pop(app_id, None)
+        if app is None:
+            return
+        if self.incremental:
+            self._queue_used[app.queue] = (
+                self._queue_used[app.queue] - app._used
+            )
+            for priority, table in app.asks.items():
+                self._unindex_table(app, priority, table)
+            self._any_apps.pop(app_id, None)
+            self._local_apps.pop(app_id, None)
+            self._order_cache = None
+        app._scheduler = None
+        app._used = _ZERO
+        for table in app.asks.values():
+            table.fast = False
+        self.mark_dirty()
+
+    # -- event-driven tick support ------------------------------------------
+    def mark_dirty(self) -> None:
+        """Something changed: the next heartbeat tick may make progress."""
+        self._dirty = True
+
+    def needs_tick(self) -> bool:
+        return self._dirty
+
+    def skip_tick(self) -> None:
+        """Account for a skipped no-op heartbeat.
+
+        A run tick advances the node rotation by one modulo the
+        schedulable-node count (when any node is schedulable); do the
+        same advance here so the rotation phase — and therefore every
+        future placement — is identical to a run that ticks every
+        heartbeat. The count cannot have changed since the last run
+        tick: any node event marks the scheduler dirty, which forces a
+        run tick instead of a skip.
+        """
+        if self._last_node_count:
+            self._tick_offset = (
+                self._tick_offset + 1
+            ) % self._last_node_count
+
+    def invalidate_nodes(self) -> None:
+        """A node's schedulability changed outside the crash/restart
+        hooks (RM liveness transitions)."""
+        self._node_cache = None
+        self.mark_dirty()
+
+    def _on_node_down(self, node) -> None:
+        if self.incremental:
+            nm = self.node_managers.get(node.node_id)
+            if nm is not None:
+                self._cluster_total = self._cluster_total - nm.total
+            self._order_cache = None
+        self._node_cache = None
+        self.mark_dirty()
+
+    def _on_node_up(self, node) -> None:
+        if self.incremental:
+            nm = self.node_managers.get(node.node_id)
+            if nm is not None:
+                self._cluster_total = self._cluster_total + nm.total
+            self._order_cache = None
+        self._node_cache = None
+        self.mark_dirty()
+
+    # -- reverse ask indexes (incremental mode) ------------------------------
+    def _index_node_up(self, app: SchedulerApp, priority: Priority,
+                       table: _AskTable, node: str) -> None:
+        table.node_nonzero += 1
+        self._node_index.setdefault(node, {}) \
+            .setdefault(app.app_id, set()).add(priority)
+        if table.node_nonzero == 1:
+            self._local_apps[app.app_id] = (
+                self._local_apps.get(app.app_id, 0) + 1
+            )
+
+    def _index_node_down(self, app: SchedulerApp, priority: Priority,
+                         table: _AskTable, node: str) -> None:
+        table.node_nonzero -= 1
+        apps = self._node_index.get(node)
+        if apps is not None:
+            priorities = apps.get(app.app_id)
+            if priorities is not None:
+                priorities.discard(priority)
+                if not priorities:
+                    del apps[app.app_id]
+                    if not apps:
+                        del self._node_index[node]
+        if table.node_nonzero == 0:
+            count = self._local_apps.get(app.app_id, 0) - 1
+            if count > 0:
+                self._local_apps[app.app_id] = count
+            else:
+                self._local_apps.pop(app.app_id, None)
+
+    def _index_rack_up(self, app: SchedulerApp, priority: Priority,
+                       table: _AskTable, rack: str) -> None:
+        table.rack_nonzero += 1
+        self._rack_index.setdefault(rack, {}) \
+            .setdefault(app.app_id, set()).add(priority)
+
+    def _index_rack_down(self, app: SchedulerApp, priority: Priority,
+                         table: _AskTable, rack: str) -> None:
+        table.rack_nonzero -= 1
+        apps = self._rack_index.get(rack)
+        if apps is not None:
+            priorities = apps.get(app.app_id)
+            if priorities is not None:
+                priorities.discard(priority)
+                if not priorities:
+                    del apps[app.app_id]
+                    if not apps:
+                        del self._rack_index[rack]
+
+    def _index_any_up(self, app: SchedulerApp) -> None:
+        self._any_apps[app.app_id] = self._any_apps.get(app.app_id, 0) + 1
+
+    def _index_any_down(self, app: SchedulerApp) -> None:
+        count = self._any_apps.get(app.app_id, 0) - 1
+        if count > 0:
+            self._any_apps[app.app_id] = count
+        else:
+            self._any_apps.pop(app.app_id, None)
+
+    def _index_table(self, app: SchedulerApp, priority: Priority,
+                     table: _AskTable) -> None:
+        """Build index entries for a table adopted via add_app."""
+        table.fast = True
+        table.node_nonzero = 0
+        table.rack_nonzero = 0
+        for node, count in table.node_counts.items():
+            if count > 0:
+                self._index_node_up(app, priority, table, node)
+        for rack, count in table.rack_counts.items():
+            if count > 0:
+                self._index_rack_up(app, priority, table, rack)
+        if table.any_count > 0:
+            self._index_any_up(app)
+
+    def _unindex_table(self, app: SchedulerApp, priority: Priority,
+                       table: _AskTable) -> None:
+        for node, count in list(table.node_counts.items()):
+            if count > 0:
+                self._index_node_down(app, priority, table, node)
+        for rack, count in list(table.rack_counts.items()):
+            if count > 0:
+                self._index_rack_down(app, priority, table, rack)
+        if table.any_count > 0:
+            self._index_any_down(app)
+
+    def _maybe_prune(self, app: SchedulerApp, priority: Priority,
+                     table: _AskTable) -> None:
+        """Drop an ask table once every count in it has hit zero.
+
+        Legacy mode keeps such husks forever (they are behaviourally
+        inert — ``pending() <= 0`` short-circuits them — but cost
+        memory and priority-iteration time across a long session).
+        """
+        if (
+            table.total == 0
+            and table.any_count == 0
+            and table.node_nonzero == 0
+            and table.rack_nonzero == 0
+            and app.asks.get(priority) is table
+        ):
+            del app.asks[priority]
 
     # -- capacity accounting -------------------------------------------------
     def cluster_resource(self) -> Resource:
+        if self.incremental:
+            return self._cluster_total
         total = Resource(0, 0)
         for nm in self.node_managers.values():
             if nm.node.alive:
@@ -207,6 +488,8 @@ class CapacityScheduler:
         return total
 
     def queue_used(self, queue: str) -> Resource:
+        if self.incremental:
+            return self._queue_used.get(queue, _ZERO)
         total = Resource(0, 0)
         for app in self.apps.values():
             if app.queue == queue:
@@ -228,12 +511,10 @@ class CapacityScheduler:
     # -- the scheduling tick --------------------------------------------------
     def tick(self) -> list[Container]:
         """One scheduling pass over all nodes; returns new allocations."""
+        self._dirty = False
         allocations: list[Container] = []
-        node_ids = sorted(
-            nid for nid, nm in self.node_managers.items()
-            if nm.node.alive
-            and (self.node_filter is None or self.node_filter(nid))
-        )
+        node_ids = self._schedulable_nodes()
+        self._last_node_count = len(node_ids)
         if not node_ids:
             return allocations
         self._tick_offset = (self._tick_offset + 1) % len(node_ids)
@@ -244,7 +525,27 @@ class CapacityScheduler:
             self._preempt_if_needed()
         return allocations
 
+    def _schedulable_nodes(self) -> list[str]:
+        if self.incremental and self._node_cache is not None:
+            return self._node_cache
+        node_ids = sorted(
+            nid for nid, nm in self.node_managers.items()
+            if nm.node.alive
+            and (self.node_filter is None or self.node_filter(nid))
+        )
+        if self.incremental:
+            self._node_cache = node_ids
+        return node_ids
+
     def _ordered_apps(self) -> list[SchedulerApp]:
+        if self.incremental:
+            if self._order_cache is None:
+                ratio = {q: self.queue_usage_ratio(q) for q in self.queues}
+                self._order_cache = sorted(
+                    self.apps.values(),
+                    key=lambda a: (ratio[a.queue], a.app_id),
+                )
+            return self._order_cache
         ratio = {q: self.queue_usage_ratio(q) for q in self.queues}
         return sorted(
             self.apps.values(),
@@ -255,10 +556,30 @@ class CapacityScheduler:
         nm = self.node_managers[node_id]
         rack = self.cluster.nodes[node_id].rack
         allocations: list[Container] = []
+        incremental = self.incremental
         progress = True
         while progress:
             progress = False
+            if incremental:
+                # Consult only apps that can react to this offer: asks
+                # on this node or rack, ANY-level asks, or node-level
+                # asks anywhere (declining the offer advances their
+                # delay-scheduling missed count). Everything else is a
+                # provable no-op in _try_assign.
+                node_apps = self._node_index.get(node_id)
+                rack_apps = self._rack_index.get(rack)
+                any_apps = self._any_apps
+                local_apps = self._local_apps
             for app in self._ordered_apps():
+                if incremental:
+                    aid = app.app_id
+                    if (
+                        aid not in any_apps
+                        and aid not in local_apps
+                        and (node_apps is None or aid not in node_apps)
+                        and (rack_apps is None or aid not in rack_apps)
+                    ):
+                        continue
                 container = self._try_assign(app, nm, node_id, rack)
                 if container is not None:
                     allocations.append(container)
@@ -302,7 +623,30 @@ class CapacityScheduler:
                                       node_id, rack)
         if had_local_ask:
             app.missed_opportunities += 1
+            # The miss count gates delay-scheduling fallback, so the
+            # next heartbeat can behave differently: not a no-op tick.
+            self.mark_dirty()
         return None
+
+    def _dec_node_count(self, app: SchedulerApp, priority: Priority,
+                        table: _AskTable, node: str) -> None:
+        old = table.node_counts.get(node, 0)
+        table.node_counts[node] = max(0, old - 1)
+        if self.incremental and old > 0 >= old - 1:
+            self._index_node_down(app, priority, table, node)
+
+    def _dec_rack_count(self, app: SchedulerApp, priority: Priority,
+                        table: _AskTable, rack: str) -> None:
+        old = table.rack_counts.get(rack, 0)
+        table.rack_counts[rack] = max(0, old - 1)
+        if self.incremental and old > 0 >= old - 1:
+            self._index_rack_down(app, priority, table, rack)
+
+    def _dec_any(self, app: SchedulerApp, table: _AskTable) -> None:
+        old = table.any_count
+        table.any_count = max(0, old - 1)
+        if self.incremental and old > 0 >= old - 1:
+            self._index_any_down(app)
 
     def _allocate(
         self,
@@ -317,17 +661,15 @@ class CapacityScheduler:
         # Decrement the ask book per YARN semantics.
         table.total = max(0, table.total - 1)
         if level == NODE_LOCAL:
-            table.node_counts[node_id] = max(
-                0, table.node_counts.get(node_id, 0) - 1
-            )
-            table.rack_counts[rack] = max(0, table.rack_counts.get(rack, 0) - 1)
-            table.any_count = max(0, table.any_count - 1)
+            self._dec_node_count(app, priority, table, node_id)
+            self._dec_rack_count(app, priority, table, rack)
+            self._dec_any(app, table)
             app.missed_opportunities = 0
         elif level == RACK_LOCAL_LEVEL:
-            table.rack_counts[rack] = max(0, table.rack_counts.get(rack, 0) - 1)
-            table.any_count = max(0, table.any_count - 1)
+            self._dec_rack_count(app, priority, table, rack)
+            self._dec_any(app, table)
         else:
-            table.any_count = max(0, table.any_count - 1)
+            self._dec_any(app, table)
         container = Container(
             app.next_container_id(),
             nm.node,
@@ -339,6 +681,14 @@ class CapacityScheduler:
         container.priority = priority  # which ask this allocation fills
         nm.reserve(container)
         app.live_containers[container.container_id] = container
+        if self.incremental:
+            app._used = app._used + container.resource
+            self._queue_used[app.queue] = (
+                self._queue_used[app.queue] + container.resource
+            )
+            self._order_cache = None
+            self._maybe_prune(app, priority, table)
+        self.mark_dirty()
         self.allocation_log.append(
             (self.env.now, str(app.app_id), node_id, level)
         )
@@ -361,7 +711,15 @@ class CapacityScheduler:
                             container_id: ContainerId) -> None:
         app = self.apps.get(app_id)
         if app is not None:
-            app.live_containers.pop(container_id, None)
+            container = app.live_containers.pop(container_id, None)
+            if container is not None and self.incremental:
+                app._used = app._used - container.resource
+                self._queue_used[app.queue] = (
+                    self._queue_used[app.queue] - container.resource
+                )
+                self._order_cache = None
+        # Even for an already-removed app the node just freed capacity.
+        self.mark_dirty()
 
     # -- preemption ------------------------------------------------------------
     def _preempt_if_needed(self) -> None:
@@ -407,6 +765,7 @@ class CapacityScheduler:
                     node=victim.node_id,
                     queue=victim_queue.name,
                 )
+            self.mark_dirty()
             nm.stop_container(
                 victim.container_id, ContainerExitStatus.PREEMPTED
             )

@@ -26,8 +26,10 @@ def test_legacy_config_disables_both_optimizations():
     legacy = _legacy_config()
     assert not legacy.composite_dme
     assert not legacy.coalesce_deliveries
+    assert not legacy.indexed_scheduler
     default = TezConfig()
     assert default.composite_dme and default.coalesce_deliveries
+    assert default.indexed_scheduler
 
 
 def test_check_passes_when_ratios_hold():
@@ -79,14 +81,35 @@ def test_full_mode_enforces_absolute_criteria():
     what the committed reference says."""
     assert CRITERIA["wide_shuffle.dispatched_ratio"] >= 5.0
     assert CRITERIA["wide_shuffle_buffered.wall_speedup"] >= 1.5
+    assert CRITERIA["sched_heavy.wall_speedup"] >= 1.5
     results = {
         "mode": "full",
         "scenarios": {
             "wide_shuffle": {"ratios": {"dispatched_ratio": 4.0}},
             "wide_shuffle_buffered": {"ratios": {"wall_speedup": 2.0}},
+            "sched_heavy": {"ratios": {"wall_speedup": 3.0}},
         },
     }
     committed = {"full": results}
     problems = check_against(results, committed)
     assert len(problems) == 1
     assert "criterion wide_shuffle.dispatched_ratio" in problems[0]
+
+
+def test_partial_full_run_skips_unselected_criteria():
+    """A full-mode --only run must not trip criteria for scenarios it
+    did not execute, but still gates the ones it did."""
+    results = {
+        "mode": "full",
+        "partial": True,
+        "scenarios": {
+            "sched_heavy": {"ratios": {"wall_speedup": 1.2}},
+        },
+    }
+    committed = {"full": {"mode": "full", "scenarios": {
+        "sched_heavy": {"ratios": {"wall_speedup": 1.2}},
+    }}}
+    problems = check_against(results, committed)
+    assert problems == [
+        "criterion sched_heavy.wall_speedup: 1.2 < required 1.5"
+    ]

@@ -349,3 +349,260 @@ class TestResourceRecords:
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             Resource(-1, 0)
+
+
+# ---------------------------------------------------------------------------
+# Scheduler hot-path properties (PR 5): delay scheduling, pruning and the
+# incremental-vs-legacy equivalence guarantee. Every property is checked in
+# both scheduler modes — the overhaul must not change a single decision.
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.yarn import ApplicationId, CapacityScheduler, NodeManager, SchedulerApp
+
+BOTH_MODES = pytest.mark.parametrize("incremental", [False, True],
+                                     ids=["legacy", "incremental"])
+
+
+def make_scheduler(num_nodes=4, nodes_per_rack=2, queues=None,
+                   incremental=True, node_delay=None, rack_delay=None):
+    """A bare CapacityScheduler: no RM, no heartbeats — ticks are driven
+    by hand so delay-scheduling counters can be asserted per tick."""
+    spec = ClusterSpec(
+        num_nodes=num_nodes,
+        nodes_per_rack=nodes_per_rack,
+        memory_per_node_mb=8192,
+        cores_per_node=8,
+        scheduler_incremental=incremental,
+    )
+    env = Environment()
+    cluster = Cluster(env, spec)
+    security = SecurityManager(enabled=False)
+    nms = {
+        node_id: NodeManager(env, node, security, lambda status, c: None)
+        for node_id, node in cluster.nodes.items()
+    }
+    sched = CapacityScheduler(
+        env, cluster, nms, queues,
+        node_locality_delay=node_delay, rack_locality_delay=rack_delay,
+    )
+    return env, cluster, sched
+
+
+def _app(sched, num=None, queue="default"):
+    app = SchedulerApp(ApplicationId(0, num or 900), queue, "user")
+    sched.add_app(app)
+    return app
+
+
+@BOTH_MODES
+def test_missed_opportunities_reset_on_node_local(incremental):
+    env, cluster, sched = make_scheduler(incremental=incremental,
+                                         node_delay=100, rack_delay=200)
+    app = _app(sched)
+    app.add_ask(TASK_PRI, SMALL, ["node0002"], ["rack1"], True)
+    app.missed_opportunities = 7   # pretend it has been waiting a while
+    allocations = sched.tick()
+    # Rotation offers node0001 first (a miss), then node0002 NODE_LOCAL.
+    assert [c.node_id for c in allocations] == ["node0002"]
+    assert sched.allocation_log[-1][3] == "NODE_LOCAL"
+    assert app.missed_opportunities == 0
+
+
+@BOTH_MODES
+def test_rack_fallback_unlocks_at_node_delay(incremental):
+    env, cluster, sched = make_scheduler(incremental=incremental,
+                                         node_delay=3, rack_delay=100)
+    # The preferred node is full, its rack-mate is free.
+    full = sched.node_managers["node0002"]
+    full.used = full.total
+    app = _app(sched)
+    app.add_ask(TASK_PRI, SMALL, ["node0002"], ["rack1"], False)
+    assert sched.tick() == []          # 3 misses: still node-delay-gated
+    assert app.missed_opportunities == 3
+    allocations = sched.tick()         # threshold reached -> rack-local
+    assert [c.node_id for c in allocations] == ["node0003"]
+    assert sched.allocation_log == [
+        (0.0, str(app.app_id), "node0003", "RACK_LOCAL")
+    ]
+
+
+@BOTH_MODES
+def test_off_switch_unlocks_at_rack_delay(incremental):
+    env, cluster, sched = make_scheduler(incremental=incremental,
+                                         node_delay=2, rack_delay=5)
+    # The preferred node and its whole rack are full.
+    for node_id in ("node0002", "node0003"):
+        nm = sched.node_managers[node_id]
+        nm.used = nm.total
+    app = _app(sched)
+    app.add_ask(TASK_PRI, SMALL, ["node0002"], ["rack1"], True)
+    assert sched.tick() == []          # misses 1, 2
+    assert sched.tick() == []          # misses 3, 4
+    allocations = sched.tick()         # miss 5, then unlock
+    assert [c.node_id for c in allocations] == ["node0001"]
+    assert sched.allocation_log[-1][3] == "OFF_SWITCH"
+
+
+@BOTH_MODES
+def test_blacklisted_node_never_allocated_despite_local_ask(incremental):
+    env, cluster, sched = make_scheduler(incremental=incremental,
+                                         node_delay=1, rack_delay=2)
+    app = _app(sched)
+    app.blacklist.add("node0002")
+    app.add_ask(TASK_PRI, SMALL, ["node0002"], ["rack1"], True)
+    allocations = sched.tick()
+    # The blacklisted node is skipped silently (no missed-opportunity
+    # bump), the first non-blacklisted offer misses, and the rack-mate
+    # satisfies the ask at RACK_LOCAL once the node delay is met.
+    assert [c.node_id for c in allocations] == ["node0003"]
+    assert sched.allocation_log[-1][3] == "RACK_LOCAL"
+    assert all(entry[2] != "node0002" for entry in sched.allocation_log)
+
+
+def test_ask_table_pruned_when_fully_consumed():
+    env, cluster, sched = make_scheduler(incremental=True)
+    app = _app(sched)
+    app.add_ask(TASK_PRI, SMALL, [], [], True)
+    assert TASK_PRI in app.asks
+    assert len(sched.tick()) == 1
+    assert TASK_PRI not in app.asks    # empty table pruned
+    # remove_ask down to empty prunes too.
+    app.add_ask(TASK_PRI, SMALL, ["node0001"], ["rack0"], True, count=2)
+    app.remove_ask(TASK_PRI, ["node0001"], ["rack0"], True, count=2)
+    assert TASK_PRI not in app.asks
+
+
+def test_legacy_keeps_empty_ask_tables():
+    env, cluster, sched = make_scheduler(incremental=False)
+    app = _app(sched)
+    app.add_ask(TASK_PRI, SMALL, [], [], True)
+    assert len(sched.tick()) == 1
+    assert TASK_PRI in app.asks        # historical behaviour: husk stays
+    assert app.asks[TASK_PRI].pending() == 0
+
+
+@BOTH_MODES
+def test_used_resource_tracks_allocations_and_completions(incremental):
+    env, cluster, sched = make_scheduler(incremental=incremental)
+    app = _app(sched)
+    app.add_ask(TASK_PRI, SMALL, [], [], True, count=3)
+    allocations = sched.tick()
+    assert len(allocations) == 3
+    assert app.used_resource() == Resource(3 * 1024, 3)
+    assert sched.queue_used("default") == Resource(3 * 1024, 3)
+    done = allocations[0]
+    sched.node_managers[done.node_id].unreserve(done)
+    sched.container_completed(app.app_id, done.container_id)
+    assert app.used_resource() == Resource(2 * 1024, 2)
+    assert sched.queue_used("default") == Resource(2 * 1024, 2)
+
+
+def test_event_driven_rm_skips_idle_heartbeats():
+    env, cluster, rm = make_rm()
+    env.run(until=10.0)
+    assert rm.ticks_skipped > 0        # nothing to schedule: ticks skip
+
+
+def test_tick_every_heartbeat_when_event_driven_off():
+    env, cluster, rm = make_rm(event_driven_ticks=False)
+    env.run(until=10.0)
+    assert rm.ticks_skipped == 0
+
+
+def test_ticks_skipped_counter_and_histogram_in_telemetry():
+    from repro import SimCluster
+
+    sim = SimCluster(num_nodes=2, nodes_per_rack=2)
+    sim.env.run(until=10.0)
+    metrics = sim.telemetry.metrics
+    assert metrics.counter("yarn.scheduler.ticks_skipped").value > 0
+    assert metrics.histogram("yarn.scheduler.tick_seconds").count > 0
+
+
+# -- randomized equivalence: optimized vs legacy scheduler ------------------
+
+_EQUIV_QUEUES = [QueueConfig("q0", 0.6, 0.8), QueueConfig("q1", 0.4, 1.0)]
+_EQUIV_CAPS = {1: Resource(1024, 1), 2: Resource(2048, 2),
+               3: Resource(4096, 1)}
+
+_ask_op = st.tuples(
+    st.just("ask"), st.integers(0, 2), st.integers(1, 3),
+    st.lists(st.integers(0, 5), max_size=3), st.booleans(),
+    st.integers(1, 3),
+)
+_ops = st.lists(
+    st.one_of(
+        _ask_op,
+        st.tuples(st.just("tick")),
+        st.tuples(st.just("complete"), st.integers(0, 7)),
+        st.tuples(st.just("blacklist"), st.integers(0, 2),
+                  st.integers(0, 5)),
+        st.tuples(st.just("crash"), st.integers(0, 5)),
+        st.tuples(st.just("restart"), st.integers(0, 5)),
+    ),
+    min_size=1, max_size=25,
+)
+
+
+def _run_script(ops, incremental):
+    """Drive one scheduler through a scripted op sequence; return its
+    observable behaviour for cross-mode comparison."""
+    env, cluster, sched = make_scheduler(
+        num_nodes=6, nodes_per_rack=3, queues=_EQUIV_QUEUES,
+        incremental=incremental, node_delay=2, rack_delay=4,
+    )
+    apps = [
+        SchedulerApp(ApplicationId(0, 800 + i), f"q{i % 2}", "user")
+        for i in range(3)
+    ]
+    for app in apps:
+        sched.add_app(app)
+    live: list = []   # containers in allocation order, for completions
+    for op in ops:
+        kind = op[0]
+        if kind == "ask":
+            _, app_idx, pri, node_idxs, relax, count = op
+            nodes = sorted({f"node{i:04d}" for i in node_idxs})
+            racks = sorted({cluster.nodes[n].rack for n in nodes})
+            apps[app_idx].add_ask(Priority(pri), _EQUIV_CAPS[pri],
+                                  nodes, racks, relax, count)
+        elif kind == "tick":
+            live.extend(sched.tick())
+        elif kind == "complete":
+            alive = [c for c in live
+                     if c.container_id in
+                     sched.node_managers[c.node_id].containers]
+            if alive:
+                victim = alive[op[1] % len(alive)]
+                sched.node_managers[victim.node_id].unreserve(victim)
+                sched.container_completed(victim.container_id.app_id,
+                                          victim.container_id)
+                live.remove(victim)
+        elif kind == "blacklist":
+            _, app_idx, node_idx = op
+            apps[app_idx].blacklist.add(f"node{node_idx:04d}")
+            sched.mark_dirty()
+        elif kind == "crash":
+            cluster.nodes[f"node{op[1]:04d}"].crash()
+        elif kind == "restart":
+            cluster.nodes[f"node{op[1]:04d}"].restart()
+    live.extend(sched.tick())
+    return {
+        "log": list(sched.allocation_log),
+        "queue_used": {q: sched.queue_used(q) for q in ("q0", "q1")},
+        "cluster": sched.cluster_resource(),
+        "used": [app.used_resource() for app in apps],
+        "missed": [app.missed_opportunities for app in apps],
+        "pending": [app.total_pending() for app in apps],
+    }
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_ops)
+def test_randomized_allocation_log_equivalence(ops):
+    legacy = _run_script(ops, incremental=False)
+    optimized = _run_script(ops, incremental=True)
+    assert optimized["log"] == legacy["log"]
+    assert optimized == legacy
