@@ -3,5 +3,7 @@ executed deterministically against the cluster, YARN, and shuffle."""
 
 from .controller import ChaosController
 from .plan import Fault, FaultKind, FaultPlan
+from .sweep import run_soak, run_sweep
 
-__all__ = ["ChaosController", "Fault", "FaultKind", "FaultPlan"]
+__all__ = ["ChaosController", "Fault", "FaultKind", "FaultPlan",
+           "run_soak", "run_sweep"]

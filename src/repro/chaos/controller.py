@@ -12,9 +12,10 @@ Injection route: when a live Tez AM is attached (via the client), AM
 crashes, node crashes and shuffle-output losses are dispatched onto
 the AM's control-plane bus as typed ``FaultEvent``s — the AM applies
 them itself, so faults are ordered and journaled like every other
-control event. Without an AM (bare-cluster scenarios) the controller
-falls back to the historical direct path through the
-cluster/YARN/shuffle APIs.
+control event. Node and shuffle faults fall back to the direct
+cluster/shuffle APIs in bare-cluster scenarios; AM crashes do *not* —
+they exist only as control-plane events, and injecting one without a
+live dispatcher-carrying AM raises.
 """
 
 from __future__ import annotations
@@ -27,7 +28,7 @@ from ..shuffle import ShuffleServices
 from ..sim import Environment
 from ..telemetry import get_telemetry
 from ..tez.am.dispatcher import FaultEvent
-from ..yarn import ContainerExitStatus, ResourceManager
+from ..yarn import ResourceManager
 from .plan import Fault, FaultKind, FaultPlan
 
 __all__ = ["ChaosController"]
@@ -267,26 +268,27 @@ class ChaosController:
             yield self.env.timeout(0.25)
 
     def _inject_am_crash(self, fault: Fault) -> None:
+        """AM crashes travel the control plane, full stop: they arrive
+        as ``FaultEvent``s on the live AM's bus (or arm its dispatcher
+        for a crash-anywhere trigger). The historical bare-cluster
+        direct-mutation path is gone — crashing an AM the framework
+        does not know about produced un-journaled, un-audited deaths
+        the recovery log could not explain."""
         am = self._live_am()
-        if am is not None:
-            node_id = am.ctx.am_container.node_id
-            am.dispatcher.dispatch(FaultEvent(kind="am_crash"))
-            self._record(fault, f"am@{node_id}")
+        if am is None:
+            raise RuntimeError(
+                "am_crash fault needs a live dispatcher-carrying AM: "
+                "attach a TezClient (sim.chaos(plan, client=...)) and "
+                "inject while an application is running"
+            )
+        node_id = am.ctx.am_container.node_id
+        if fault.after_events is not None:
+            am.dispatcher.halt_after(
+                am.dispatcher.dispatched + fault.after_events, am.crash
+            )
+            self._record(
+                fault, f"am@{node_id}+{fault.after_events}ev"
+            )
             return
-        # No dispatcher-carrying AM attached: direct YARN path.
-        ctx = None
-        legacy_am = getattr(self.client, "last_am", None)
-        if legacy_am is not None and not legacy_am.ctx.unregistered:
-            ctx = legacy_am.ctx
-        if ctx is None:
-            for app_id in sorted(self.rm._contexts, key=str):
-                ctx = self.rm._contexts[app_id]
-                break
-        if ctx is None:
-            return
-        container = ctx.am_container
-        nm = self.rm.node_managers[container.node_id]
-        nm.stop_container(
-            container.container_id, ContainerExitStatus.ABORTED
-        )
-        self._record(fault, f"am@{container.node_id}")
+        am.dispatcher.dispatch(FaultEvent(kind="am_crash"))
+        self._record(fault, f"am@{node_id}")

@@ -46,10 +46,14 @@ class Fault:
     pattern: str = ""                   # SHUFFLE_OUTPUT_LOSS: spill-id substring
     count: int = 1                      # SHUFFLE_OUTPUT_LOSS: spills to drop
     wait: float = 15.0                  # SHUFFLE_OUTPUT_LOSS: hunt window
+    after_events: Optional[int] = None  # AM_CRASH: crash after this many
+                                        # further dispatched control events
 
     def __post_init__(self):
         if self.at < 0:
             raise ValueError("fault time must be >= 0")
+        if self.after_events is not None and self.after_events < 0:
+            raise ValueError("after_events must be >= 0")
         if self.duration is not None and self.duration <= 0:
             raise ValueError("fault duration must be positive")
         if self.kind == FaultKind.SLOW_NODE and not 0 < self.speed <= 1.0:
@@ -126,6 +130,13 @@ class FaultPlan:
         return self.add(Fault(FaultKind.SHUFFLE_OUTPUT_LOSS, at,
                               pattern=pattern, count=count, wait=wait))
 
-    def crash_am(self, at: float) -> "FaultPlan":
-        """Kill the ApplicationMaster's container (recovery drill)."""
-        return self.add(Fault(FaultKind.AM_CRASH, at))
+    def crash_am(self, at: float,
+                 after_events: Optional[int] = None) -> "FaultPlan":
+        """Kill the ApplicationMaster's container (recovery drill).
+
+        With ``after_events`` the crash is armed on the live AM's
+        dispatcher instead of fired immediately: the AM dies at the
+        exact event boundary ``after_events`` dispatched control events
+        past the injection time (the crash-anywhere primitive)."""
+        return self.add(Fault(FaultKind.AM_CRASH, at,
+                              after_events=after_events))

@@ -13,7 +13,7 @@ Public surface:
 * Runtime library — HDFS + shuffle IPOs (paper 4.1).
 """
 
-from .am import DAGAppMaster, DAGState, DAGStatus, RecoveryLog
+from .am import DAGAppMaster, DAGState, DAGStatus, RecoveryJournal
 from .client import DAGHandle, TezClient
 from .committer import CommitterContext, OutputCommitter
 from .config import TezConfig
@@ -101,7 +101,7 @@ __all__ = [
     "OutputCommitter",
     "OutputSpec",
     "Processor",
-    "RecoveryLog",
+    "RecoveryJournal",
     "RootInputVertexManager",
     "ScatterGatherEdgeManager",
     "SchedulingType",

@@ -20,7 +20,7 @@ from .dispatcher import (
     TaskUplinkEvent,
     UnhandledEventError,
 )
-from .recovery import RecoveryLog
+from .journal import RecoveredTask, RecoveryJournal
 from .state_machines import (
     InvalidStateTransition,
     MachineSet,
@@ -56,7 +56,8 @@ __all__ = [
     "InvalidStateTransition",
     "MachineSet",
     "NodeLostEvent",
-    "RecoveryLog",
+    "RecoveredTask",
+    "RecoveryJournal",
     "StateMachine",
     "StateTransitionEvent",
     "TABLES",

@@ -414,7 +414,8 @@ class AttemptRunner:
                 am.scheduler.kill_attempt(
                     sibling, AttemptEndReason.SPECULATION_LOST
                 )
-        am.recovery_service.record_success(task, attempt)
+        # No explicit recovery snapshot: the write-ahead journal already
+        # captured this success when the transition crossed the bus.
         am.router.route_events(vr, task, task.output_events)
         if not was_reexecution:
             vr.completed_tasks += 1
@@ -490,7 +491,8 @@ class AttemptRunner:
                 "am.reexecution", dag=vr.dag_id, vertex=vr.name,
                 index=task.index, reason=reason.value,
             )
-        am.recovery_service.invalidate(task)
+        # The journaled `restart` transition below revokes the recorded
+        # success in the recovery fold — no side-store to invalidate.
         am.machines.task(task).fire("restart")
         if vr.state == VertexState.SUCCEEDED:
             am.machines.vertex(vr).fire("reactivate")

@@ -30,9 +30,15 @@ import importlib
 import sys
 from typing import Any
 
-from .state_machines import HANDLER_SPECS, TABLES, TransitionTable
+from .state_machines import (
+    ATTEMPT_CONSEQUENCES,
+    HANDLER_SPECS,
+    TABLES,
+    TransitionTable,
+)
 
-__all__ = ["audit_table", "audit_all", "render_dot", "main"]
+__all__ = ["audit_table", "audit_cross_table", "audit_all",
+           "render_dot", "main"]
 
 
 def _name(state: Any) -> str:
@@ -87,6 +93,58 @@ def audit_table(table: TransitionTable,
     return problems
 
 
+def audit_cross_table(attempt_table: TransitionTable = None,
+                      task_table: TransitionTable = None,
+                      consequences: dict = None) -> list[str]:
+    """Attempt/task consequence agreement.
+
+    Every attempt-table transition into a terminal attempt state must
+    have a declared task-level consequence in
+    :data:`ATTEMPT_CONSEQUENCES`: either a task event with at least one
+    transition edge in the task table, or an explicit ``None`` (the
+    trigger is consequence-free by design). This catches the classic
+    recovery bug where an attempt dies terminally through a trigger
+    whose task-level effect nobody wired up — the task waits forever.
+    """
+    attempt_table = TABLES["attempt"] if attempt_table is None \
+        else attempt_table
+    task_table = TABLES["task"] if task_table is None else task_table
+    consequences = ATTEMPT_CONSEQUENCES if consequences is None \
+        else consequences
+    problems: list[str] = []
+
+    terminal_triggers = {
+        tr.event for tr in attempt_table.transitions
+        if tr.target in attempt_table.terminals
+    }
+    task_events = {tr.event for tr in task_table.transitions}
+
+    for trigger in sorted(terminal_triggers):
+        if trigger not in consequences:
+            problems.append(
+                f"cross: attempt trigger {trigger!r} reaches a terminal "
+                f"state but declares no task-level consequence"
+            )
+            continue
+        consequence = consequences[trigger]
+        if consequence is None:
+            continue
+        if consequence not in task_events:
+            problems.append(
+                f"cross: attempt trigger {trigger!r} maps to task event "
+                f"{consequence!r}, which has no transition in the task "
+                f"table"
+            )
+    for trigger in sorted(consequences):
+        if trigger not in terminal_triggers:
+            problems.append(
+                f"cross: consequence map names {trigger!r}, but no "
+                f"attempt transition with that trigger reaches a "
+                f"terminal state"
+            )
+    return problems
+
+
 def _load_handlers() -> tuple[dict, list[str]]:
     handlers: dict[str, Any] = {}
     problems: list[str] = []
@@ -117,6 +175,12 @@ def audit_all() -> tuple[list[str], list[str]]:
             + (f", hooks={hooks}" if hooks else "")
         )
         problems.extend(audit_table(table, handlers.get(kind)))
+    cross = audit_cross_table()
+    report.append(
+        f"cross: attempt->task consequence edges "
+        f"{{{', '.join(f'{k}->{v}' for k, v in sorted(ATTEMPT_CONSEQUENCES.items()))}}}"
+    )
+    problems.extend(cross)
     return report, problems
 
 

@@ -37,11 +37,13 @@ from .dispatcher import (
     Dispatcher,
     FaultEvent,
     NodeLostEvent,
+    RecoveryEvent,
     StateTransitionEvent,
     TaskUplinkEvent,
 )
 from .event_router import EventRouter
-from .recovery import RecoveryLog, RecoveryService
+from .journal import RecoveryJournal
+from .recovery import RecoveryService
 from .speculation import DeadlockMonitor, SpeculationMonitor
 from .state_machines import MachineSet
 from .status import DAGStatus
@@ -55,7 +57,7 @@ from .task_scheduler import TaskSchedulerService
 from .vertex_lifecycle import DagAbort, VertexLifecycle
 from .vm_context import _VMContext
 
-__all__ = ["DAGAppMaster", "DAGStatus", "RecoveryLog", "DagAbort"]
+__all__ = ["DAGAppMaster", "DAGStatus", "RecoveryJournal", "DagAbort"]
 
 
 class DAGAppMaster:
@@ -66,7 +68,7 @@ class DAGAppMaster:
         ctx: AMContext,
         services: FrameworkServices,
         config: Optional[TezConfig] = None,
-        recovery: Optional[RecoveryLog] = None,
+        recovery: Optional[RecoveryJournal] = None,
     ):
         self.ctx = ctx
         self.env: Environment = ctx.env
@@ -74,6 +76,9 @@ class DAGAppMaster:
         self.spec = services.spec
         self.config = config or TezConfig()
         self.recovery = recovery
+        # Attempt-epoch fencing: constructing a new AM claims the
+        # journal, rejecting appends from any pre-crash zombie writer.
+        self.epoch = recovery.open_epoch() if recovery is not None else 0
         ctx.register()
         services.job_token = ctx.rm.security.issue("JOB", str(ctx.app_id))
         # Per-AM metrics registry: scheduler, session and task counters
@@ -104,6 +109,8 @@ class DAGAppMaster:
         # Control plane: one dispatcher, one machine factory, and the
         # components carved out of the historical monolith.
         self.dispatcher = Dispatcher(self.env, name=str(ctx.app_id))
+        if recovery is not None:
+            self.dispatcher.attach_journal(recovery, self.epoch)
         self.machines = MachineSet(self.dispatcher)
         self.lifecycle = VertexLifecycle(self)
         self.runner = AttemptRunner(self)
@@ -125,6 +132,8 @@ class DAGAppMaster:
                                  self.router.on_data_delivery_batch)
         self.dispatcher.register(NodeLostEvent, self._on_node_lost_event)
         self.dispatcher.register(FaultEvent, self._on_fault)
+        self.dispatcher.register(RecoveryEvent,
+                                 self.recovery_service.on_recovery_event)
         # Session-wide counters; `metrics` is a dict-compatible live
         # view, so historical `am.metrics[...]` call sites keep working.
         for key in (
@@ -139,6 +148,14 @@ class DAGAppMaster:
             "nodes_blacklisted",
             "lost_node_reexecutions",
             "faults_injected",
+        ):
+            self.registry.counter(key)
+        # Recovery telemetry (namespaced: not part of the legacy
+        # DAGStatus metric surface, read directly by the chaos sweep).
+        for key in (
+            "recovery.events_replayed",
+            "recovery.tasks_recovered",
+            "recovery.entries_dropped",
         ):
             self.registry.counter(key)
         self.metrics = self.registry.view()
@@ -238,7 +255,14 @@ class DAGAppMaster:
         else:
             yield from self._abort_outputs()
         if self.recovery is not None:
-            self.recovery.record_dag_finished(dag.name)
+            self.recovery.record_dag_finished(dag.name, epoch=self.epoch)
+        if self._dag_state == DAGState.SUCCEEDED:
+            # Staged outputs are only discarded once the finish marker
+            # is journaled: a crash anywhere before this point leaves
+            # staging intact, so the recovered AM's re-commit is
+            # idempotent instead of promoting an empty directory.
+            for committer in self._committers():
+                yield from committer.finalize()
 
         finish = self.env.now
         delta = self.registry.delta(base_counters)
@@ -328,16 +352,30 @@ class DAGAppMaster:
         if event.kind == "node_crash":
             self.services.cluster.crash_node(event.target)
         elif event.kind == "am_crash":
-            container = self.ctx.am_container
-            nm = self.ctx.rm.node_managers[container.node_id]
-            nm.stop_container(
-                container.container_id, ContainerExitStatus.ABORTED
-            )
+            self.crash()
         elif event.kind == "shuffle_output_loss":
             service, spill_id = event.target
             service.drop_spill(spill_id)
         else:
             raise ValueError(f"unknown fault kind: {event.kind!r}")
+
+    def crash(self) -> None:
+        """Kill this AM attempt at the current event boundary.
+
+        Halts the bus (no further control events are processed or
+        journaled), fences this attempt's journal epoch (anything the
+        orphaned simulation generators still try to append is
+        rejected), then aborts the AM container so the RM's restart
+        policy takes over. The single crash path for chaos faults, the
+        sweep harness and direct test injection."""
+        self.dispatcher.halt()
+        if self.recovery is not None:
+            self.recovery.fence(self.epoch)
+        container = self.ctx.am_container
+        nm = self.ctx.rm.node_managers[container.node_id]
+        nm.stop_container(
+            container.container_id, ContainerExitStatus.ABORTED
+        )
 
     # -------------------------------------------------- completion & commit
     def _check_dag_done(self) -> None:

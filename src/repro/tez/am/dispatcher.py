@@ -39,6 +39,7 @@ __all__ = [
     "DataDeliveryBatchEvent",
     "NodeLostEvent",
     "FaultEvent",
+    "RecoveryEvent",
     "Dispatcher",
     "UnhandledEventError",
 ]
@@ -123,6 +124,21 @@ class FaultEvent(ControlEvent):
     detail: Any = None
 
 
+@dataclass
+class RecoveryEvent(ControlEvent):
+    """One recovered task success re-dispatched into a restarted AM.
+
+    Replay *is* event dispatch: the handler fires the attempt/task
+    ``recover`` transitions through the audited machines, so a
+    recovered DAG crosses exactly the tables a fresh one does."""
+
+    vertex: str = ""
+    index: int = -1
+    number: int = 0         # original winning attempt number
+    node_id: str = ""
+    events: list = field(default_factory=list)  # routed output events
+
+
 class Dispatcher:
     """Single-threaded, typed, FIFO event bus over the sim clock."""
 
@@ -135,6 +151,16 @@ class Dispatcher:
         self._queue: list[ControlEvent] = []
         self._draining = False
         self.dispatched = 0
+        # Write-ahead recovery journal (attached by the AM): every
+        # event is appended at enqueue time, before its handler runs.
+        self._journal = None
+        self._journal_epoch = -1
+        # Crash mechanics: a halted dispatcher silently drops every
+        # dispatch — the in-simulation analogue of the AM process being
+        # dead while its orphaned generators unwind.
+        self.halted = False
+        self._halt_at: Optional[int] = None
+        self._halt_callback: Optional[Callable[[], None]] = None
         # Opt-in journal for determinism tests / debugging: (time, seq,
         # type name, summary) per event. Off by default — big DAG runs
         # cross the bus hundreds of thousands of times.
@@ -150,6 +176,29 @@ class Dispatcher:
         """Declare an event type acceptable to drop when unhandled."""
         self._ignorable.add(event_type)
 
+    def attach_journal(self, journal, epoch: int) -> None:
+        """Route every dispatched event into the write-ahead recovery
+        journal, stamped with this AM attempt's writer epoch."""
+        self._journal = journal
+        self._journal_epoch = epoch
+
+    # ---------------------------------------------------- crash control
+    def halt(self) -> None:
+        """Stop the bus dead: pending and future events are dropped.
+
+        Models AM process death — the control plane goes silent at the
+        exact event boundary where the crash landed."""
+        self.halted = True
+
+    def halt_after(self, dispatched_count: int,
+                   callback: Callable[[], None]) -> None:
+        """Arm a crash trigger: once the total delivered-event count
+        reaches ``dispatched_count``, run ``callback`` (which is
+        expected to halt the bus). The crash-anywhere sweep uses this
+        to land a crash after every k-th dispatched event."""
+        self._halt_at = dispatched_count
+        self._halt_callback = callback
+
     # ------------------------------------------------------- dispatch
     def dispatch(self, event: ControlEvent) -> None:
         """Deliver now (same sim tick), run-to-completion.
@@ -158,15 +207,22 @@ class Dispatcher:
         the drain queue and run after the current handler returns, in
         enqueue order.
         """
+        if self.halted:
+            return
         event.seq = next(self._seq)
         event.time = self.env.now
+        if self._journal is not None:
+            # Write-ahead: the record lands before any handler runs.
+            self._journal.record(self._journal_epoch, event)
         self._queue.append(event)
         if self._draining:
             return
         self._draining = True
         try:
-            while self._queue:
+            while self._queue and not self.halted:
                 self._deliver(self._queue.pop(0))
+            if self.halted:
+                self._queue.clear()
         finally:
             self._draining = False
 
@@ -201,16 +257,24 @@ class Dispatcher:
                     (event.time, event.seq, type(event).__name__,
                      self._summarize(event))
                 )
-        handlers = self._handlers.get(type(event))
-        if not handlers:
-            if type(event) in self._ignorable:
-                return
-            raise UnhandledEventError(
-                f"dispatcher {self.name!r}: no handler for "
-                f"{type(event).__name__}"
-            )
-        for handler in handlers:
-            handler(event)
+        try:
+            handlers = self._handlers.get(type(event))
+            if not handlers:
+                if type(event) in self._ignorable:
+                    return
+                raise UnhandledEventError(
+                    f"dispatcher {self.name!r}: no handler for "
+                    f"{type(event).__name__}"
+                )
+            for handler in handlers:
+                handler(event)
+        finally:
+            if (self._halt_at is not None
+                    and self.dispatched >= self._halt_at):
+                callback = self._halt_callback
+                self._halt_at = self._halt_callback = None
+                if callback is not None:
+                    callback()
 
     @staticmethod
     def _summarize(event: ControlEvent) -> str:

@@ -1,13 +1,17 @@
-"""AM fault tolerance: the recovery journal and node-health tracking.
+"""AM fault tolerance: journal replay and node-health tracking.
 
-The simulated counterpart of Tez's RecoveryService: the
-:class:`RecoveryLog` is the checkpoint journal that outlives AM
-attempts, and :class:`RecoveryService` replays it into a restarted AM
-by *re-applying state transitions* (attempt/task ``recover`` events
-through the control-plane machines) instead of mutating state — so a
-recovered DAG goes through exactly the audited tables a fresh one
-does. Node-health accounting (blacklisting, lost-node re-execution)
-lives here too: it is the same paper-4.3 machinery.
+The simulated counterpart of Tez's RecoveryService. The durable state
+lives in :class:`~repro.tez.am.journal.RecoveryJournal` — the typed
+write-ahead log the dispatcher feeds — and replay is *event
+re-dispatch*: the restarted AM folds the journal, then dispatches one
+:class:`~repro.tez.am.dispatcher.RecoveryEvent` per surviving task
+success through its own bus. The handler fires the attempt/task
+``recover`` transitions through the audited machines, so a recovered
+DAG goes through exactly the tables a fresh one does (and the recover
+transitions are themselves journaled under the new epoch — a second
+crash replays just as well). Node-health accounting (blacklisting,
+lost-node re-execution) lives here too: it is the same paper-4.3
+machinery.
 """
 
 from __future__ import annotations
@@ -17,40 +21,11 @@ from typing import Optional
 from ...cluster import Node
 from ...telemetry import get_telemetry
 from ..dag import DataSourceType
+from .dispatcher import RecoveryEvent
+from .journal import dag_name_of
 from .structures import AttemptEndReason, DAGState, TaskState
 
-__all__ = ["RecoveryLog", "RecoveryService"]
-
-
-class RecoveryLog:
-    """AM checkpoint journal (paper 4.3): survives AM restarts.
-
-    Records task successes with their routed events so a restarted AM
-    attempt does not re-run completed work.
-    """
-
-    def __init__(self):
-        self._successes: dict[str, dict[tuple[str, int], list]] = {}
-        self._finished_dags: set[str] = set()
-
-    def record_success(self, dag_name: str, vertex: str, index: int,
-                       events: list, node_id: str) -> None:
-        self._successes.setdefault(dag_name, {})[(vertex, index)] = (
-            events, node_id
-        )
-
-    def invalidate(self, dag_name: str, vertex: str, index: int) -> None:
-        self._successes.get(dag_name, {}).pop((vertex, index), None)
-
-    def record_dag_finished(self, dag_name: str) -> None:
-        self._finished_dags.add(dag_name)
-        self._successes.pop(dag_name, None)
-
-    def dag_finished(self, dag_name: str) -> bool:
-        return dag_name in self._finished_dags
-
-    def successes(self, dag_name: str) -> dict[tuple[str, int], tuple]:
-        return dict(self._successes.get(dag_name, {}))
+__all__ = ["RecoveryService"]
 
 
 class RecoveryService:
@@ -61,44 +36,79 @@ class RecoveryService:
 
     # -------------------------------------------------- journal replay
     def recovered_work(self, dag_name: str) -> dict:
-        if self.am.recovery is None:
+        """Fold the journal for ``dag_name``; entries referencing
+        vertices the submitted DAG no longer has are dropped loudly
+        (counted + traced), never silently."""
+        am = self.am
+        if am.recovery is None:
             return {}
-        return self.am.recovery.successes(dag_name)
+        recovered = am.recovery.successes(dag_name)
+        for key in [k for k in recovered if k[0] not in am._vertices]:
+            del recovered[key]
+            self._count_dropped(dag_name, key, "unknown-vertex")
+        return recovered
 
     def replay(self, vr, recovered: dict) -> None:
-        """Re-apply recorded successes to a starting vertex: attempts
-        and tasks take their ``recover`` transition (NEW -> SUCCEEDED)
-        through the machines, without re-running anything."""
-        machines = self.am.machines
-        for (vertex_name, index), (events, node_id) in recovered.items():
-            if vertex_name != vr.name or index >= len(vr.tasks):
+        """Re-dispatch recorded successes of a starting vertex through
+        the bus; entries whose task index is out of range (the DAG was
+        re-submitted with lower parallelism) are dropped loudly."""
+        am = self.am
+        for (vertex_name, index), rec in recovered.items():
+            if vertex_name != vr.name:
                 continue
-            task = vr.tasks[index]
-            attempt = task.new_attempt()
-            machines.attempt(attempt).fire("recover")
-            attempt.node_id = node_id
-            machines.task(task).fire("recover")
-            task.succeeded_attempt = attempt
-            task.output_version = attempt.number
-            task.output_events = list(events)
-            vr.scheduled.add(index)
-            vr.completed_tasks += 1
+            if index >= len(vr.tasks):
+                self._count_dropped(dag_name_of(vr.dag_id),
+                                    (vertex_name, index),
+                                    "index-out-of-range")
+                continue
+            am.registry.counter("recovery.events_replayed").inc()
+            am.dispatcher.dispatch(RecoveryEvent(
+                vertex=vertex_name, index=index,
+                number=rec.attempt_number, node_id=rec.node_id,
+                events=list(rec.events),
+            ))
 
-    def record_success(self, task, attempt) -> None:
-        if self.am.recovery is None:
+    def on_recovery_event(self, event: RecoveryEvent) -> None:
+        """Apply one recovered success: attempts and tasks take their
+        ``recover`` transition (NEW -> SUCCEEDED) through the machines,
+        without re-running anything."""
+        am = self.am
+        vr = am._vertices.get(event.vertex)
+        if vr is None or event.index >= len(vr.tasks):
             return
-        vr = task.vertex
-        self.am.recovery.record_success(
-            self.am._dag.name, vr.name, task.index,
-            task.output_events, attempt.node_id or "",
-        )
+        task = vr.tasks[event.index]
+        if task.state != TaskState.NEW:
+            return
+        machines = am.machines
+        # Reconstruct the winner under its *original* attempt number so
+        # staged output paths and spill ids line up; earlier attempt
+        # slots become placeholders discarded through the machines.
+        while len(task.attempts) < event.number:
+            machines.attempt(task.new_attempt()).fire("discard")
+        attempt = task.new_attempt()
+        attempt.node_id = event.node_id or None
+        # Set before firing so the journal's write-ahead capture of the
+        # recover transition carries the same payload as the original.
+        attempt._pending_success_events = list(event.events)
+        machines.attempt(attempt).fire("recover")
+        machines.task(task).fire("recover")
+        task.succeeded_attempt = attempt
+        task.output_version = attempt.number
+        task.output_events = list(event.events)
+        vr.scheduled.add(event.index)
+        vr.completed_tasks += 1
+        am.registry.counter("recovery.tasks_recovered").inc()
 
-    def invalidate(self, task) -> None:
-        if self.am.recovery is None:
-            return
-        self.am.recovery.invalidate(
-            self.am._dag.name, task.vertex.name, task.index
-        )
+    def _count_dropped(self, dag_name: str, key: tuple,
+                       reason: str) -> None:
+        am = self.am
+        am.registry.counter("recovery.entries_dropped").inc()
+        telemetry = get_telemetry(am.env)
+        if telemetry is not None:
+            telemetry.event(
+                "recovery.entry_dropped", dag=dag_name,
+                vertex=key[0], index=key[1], reason=reason,
+            )
 
     # -------------------------------------------------- node health
     def record_node_failure(self, node_id: Optional[str]) -> None:

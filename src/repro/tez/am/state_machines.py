@@ -43,6 +43,7 @@ __all__ = [
     "VERTEX_TABLE",
     "TASK_TABLE",
     "ATTEMPT_TABLE",
+    "ATTEMPT_CONSEQUENCES",
 ]
 
 
@@ -229,7 +230,7 @@ def _attempt_table() -> TransitionTable:
     # `discard` kills without retry side-effects: a stale attempt from a
     # finished DAG, or a speculation sibling beaten to the finish line.
     t.move("discard", (S.NEW, S.QUEUED, S.RUNNING), S.KILLED)
-    t.move("recover", S.NEW, S.SUCCEEDED)     # RecoveryLog replay
+    t.move("recover", S.NEW, S.SUCCEEDED)     # journal replay
     # Attempts are immutable history: terminal states absorb late events
     # (a kill racing a success is routine, not an error).
     for terminal in (S.SUCCEEDED, S.FAILED, S.KILLED):
@@ -249,7 +250,7 @@ def _task_table() -> TransitionTable:
     t.move("launch", S.SCHEDULED, S.RUNNING)
     t.move("succeed", S.RUNNING, S.SUCCEEDED)
     t.move("restart", S.SUCCEEDED, S.RUNNING)  # output lost: regenerate
-    t.move("recover", S.NEW, S.SUCCEEDED)      # RecoveryLog replay
+    t.move("recover", S.NEW, S.SUCCEEDED)      # journal replay
     t.move("fail", S.RUNNING, S.FAILED)
     t.move("kill", (S.NEW, S.SCHEDULED, S.RUNNING), S.KILLED)
     # A DAG kill fans out over every attempt; the second sibling's exit
@@ -310,6 +311,22 @@ TABLES = {
     "vertex": VERTEX_TABLE,
     "task": TASK_TABLE,
     "attempt": ATTEMPT_TABLE,
+}
+
+# Cross-table contract: every trigger that drives an attempt into a
+# terminal state must name its task-level consequence — the task event
+# the AM fires (directly or after retry policy) when that attempt
+# transition lands — or be explicitly declared consequence-free. The
+# auditor (`python -m repro.tez.am.check`) verifies the attempt table
+# and this map agree, so an attempt can never die terminally through a
+# trigger whose task never hears about it.
+ATTEMPT_CONSEQUENCES = {
+    "succeed": "succeed",   # winning attempt completes its task
+    "recover": "recover",   # journal replay completes task the same way
+    "fail": "fail",         # exhausted retries fail the task
+    "kill": "kill",         # DAG/vertex kill fans out to the task
+    "discard": None,        # stale or beaten speculation sibling:
+                            # deliberately consequence-free
 }
 
 # Where each table's action/guard hooks live (module, class). The

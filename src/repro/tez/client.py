@@ -15,7 +15,7 @@ from ..hdfs import Hdfs
 from ..shuffle import ShuffleServices
 from ..sim import Environment, Store
 from ..yarn import FinalApplicationStatus, Resource, ResourceManager
-from .am.dag_app_master import DAGAppMaster, DAGStatus, RecoveryLog
+from .am.dag_app_master import DAGAppMaster, DAGStatus, RecoveryJournal
 from .config import TezConfig
 from .dag import DAG
 from .runtime import FrameworkServices
@@ -70,7 +70,9 @@ class TezClient:
         self.session = session
         self.am_resource = am_resource
         self.am_max_attempts = am_max_attempts
-        self.recovery = RecoveryLog()
+        self.recovery = RecoveryJournal(
+            checkpoint_interval=self.config.journal_checkpoint_interval
+        )
         self._requests: Store = Store(env)
         self._app_handle = None
         self._inflight: Optional[DAGHandle] = None

@@ -37,7 +37,16 @@ class OutputCommitter:
         yield from ()
 
     def commit(self) -> Generator:
-        """Promote staged task outputs to the final location."""
+        """Promote staged task outputs to the final location.
+
+        Must be idempotent and must leave staged inputs in place: a
+        recovered AM re-runs commit from the journal, and only
+        :meth:`finalize` (after the DAG finish is journaled) may
+        discard staging."""
+        yield from ()
+
+    def finalize(self) -> Generator:
+        """Discard staged outputs once the DAG finish is durable."""
         yield from ()
 
     def abort(self) -> Generator:

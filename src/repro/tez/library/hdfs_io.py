@@ -185,8 +185,16 @@ class HdfsOutputCommitter(OutputCommitter):
             record_bytes=payload.get("record_bytes"),
             overwrite=True,
         )
-        self._cleanup(hdfs, final)
+        # Staging survives commit: it is only discarded by finalize(),
+        # after the AM journals the DAG finish. An AM crash anywhere in
+        # the commit window therefore leaves the staged winners intact
+        # and the recovered AM's re-commit is idempotent.
         yield self.ctx.env.timeout(0.05)  # namenode renames
+
+    def finalize(self) -> Generator:
+        payload = self.payload or {}
+        self._cleanup(self.ctx.hdfs, payload["path"])
+        yield from ()
 
     def abort(self) -> Generator:
         payload = self.payload or {}

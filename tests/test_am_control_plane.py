@@ -21,8 +21,11 @@ from repro.tez.am import (
     UnhandledEventError,
     VertexState,
 )
-from repro.tez.am.check import audit_all, audit_table
-from repro.tez.am.state_machines import TransitionTable
+from repro.tez.am.check import audit_all, audit_cross_table, audit_table
+from repro.tez.am.state_machines import (
+    ATTEMPT_CONSEQUENCES,
+    TransitionTable,
+)
 
 from helpers import (
     SG,
@@ -162,7 +165,8 @@ def test_fire_announces_on_dispatcher():
 def test_shipped_tables_are_sound():
     report, problems = audit_all()
     assert problems == []
-    assert len(report) == len(TABLES)
+    # One line per table plus the cross-table consequence summary.
+    assert len(report) == len(TABLES) + 1
 
 
 class _Toy(enum.Enum):
@@ -213,6 +217,64 @@ def test_auditor_accepts_sound_toy_table():
     table.ignore(_Toy.C, "go", "on")
     table.invalid_rest()
     assert audit_table(table, Handler) == []
+
+
+def test_cross_table_shipped_consequences_are_sound():
+    assert audit_cross_table() == []
+    # Every attempt trigger reaching a terminal state is in the map.
+    attempt = TABLES["attempt"]
+    terminal_triggers = {
+        tr.event for tr in attempt.transitions
+        if tr.target in attempt.terminals
+    }
+    assert terminal_triggers == set(ATTEMPT_CONSEQUENCES)
+
+
+def _toy_attempt_table():
+    table = TransitionTable("attempt", _Toy, _Toy.A, terminals={_Toy.C})
+    table.move("finish", _Toy.A, _Toy.C)
+    table.move("step", _Toy.A, _Toy.B)
+    table.invalid_rest()
+    return table
+
+
+def _toy_task_table():
+    table = TransitionTable("task", _Toy, _Toy.A, terminals={_Toy.C})
+    table.move("finish", _Toy.A, _Toy.C)
+    table.invalid_rest()
+    return table
+
+
+def test_cross_table_flags_undeclared_terminal_trigger():
+    problems = audit_cross_table(
+        _toy_attempt_table(), _toy_task_table(), consequences={},
+    )
+    assert any("declares no task-level consequence" in p
+               for p in problems)
+
+
+def test_cross_table_flags_consequence_missing_from_task_table():
+    problems = audit_cross_table(
+        _toy_attempt_table(), _toy_task_table(),
+        consequences={"finish": "vanish"},
+    )
+    assert any("no transition in the task table" in p for p in problems)
+
+
+def test_cross_table_flags_stale_map_entry():
+    problems = audit_cross_table(
+        _toy_attempt_table(), _toy_task_table(),
+        consequences={"finish": "finish", "step": "finish"},
+    )
+    assert any("no attempt transition with that trigger" in p
+               for p in problems)
+
+
+def test_cross_table_accepts_explicit_none_consequence():
+    assert audit_cross_table(
+        _toy_attempt_table(), _toy_task_table(),
+        consequences={"finish": None},
+    ) == []
 
 
 def test_check_cli_exits_clean(tmp_path, capsys):
@@ -309,6 +371,69 @@ def test_journal_records_time_seq_and_summary():
     assert names == ("StateTransitionEvent", "_Ping")
     assert "task:d/t0" in summaries[0]
     assert "on schedule" in summaries[0]
+
+
+# ------------------------------------------------- write-ahead journaling
+
+def test_wal_append_precedes_handler_delivery():
+    from repro.tez.am import RecoveryJournal
+
+    env = Environment()
+    bus = Dispatcher(env)
+    journal = RecoveryJournal()
+    bus.attach_journal(journal, journal.open_epoch())
+    seen = []
+    bus.register(_Ping, lambda e: seen.append(len(journal.records())))
+    bus.dispatch(_Ping("a"))
+    # The record was durable before the handler ran (write-ahead).
+    assert seen == [1]
+
+
+def test_fenced_dispatcher_appends_are_rejected():
+    from repro.tez.am import RecoveryJournal
+
+    env = Environment()
+    journal = RecoveryJournal()
+    bus = Dispatcher(env)
+    bus.attach_journal(journal, journal.open_epoch())
+    journal.open_epoch()            # successor AM claims the journal
+    bus.register(_Ping, lambda e: None)
+    bus.dispatch(_Ping("stale"))    # zombie writer: append rejected
+    assert journal.fenced_appends == 1
+    assert journal.records() == []
+
+
+def test_halt_freezes_the_bus():
+    env = Environment()
+    bus = Dispatcher(env)
+    order = []
+
+    def handler(e):
+        order.append(e.tag)
+        if e.tag == "root":
+            bus.dispatch(_Ping("child"))
+            bus.halt()
+            bus.dispatch(_Ping("late"))
+
+    bus.register(_Ping, handler)
+    bus.dispatch(_Ping("root"))
+    bus.dispatch(_Ping("post"))
+    assert order == ["root"]        # queued and future events dropped
+    assert bus.halted
+
+
+def test_halt_after_fires_at_exact_event_boundary():
+    env = Environment()
+    bus = Dispatcher(env)
+    fired = []
+    bus.register(_Ping, lambda e: None)
+    bus.halt_after(2, lambda: fired.append(bus.dispatched))
+    bus.dispatch(_Ping("a"))
+    assert fired == []
+    bus.dispatch(_Ping("b"))
+    assert fired == [2]
+    bus.dispatch(_Ping("c"))        # armed once, not re-fired
+    assert fired == [2]
 
 
 # ------------------------------------------- full-DAG telemetry invariant

@@ -3,7 +3,8 @@
 Covers every FaultKind end to end, the RM's heartbeat-driven node
 lifecycle (RUNNING -> LOST -> revived), AM node blacklisting with its
 disable failsafe, fetcher backoff/partition behaviour, AM-crash
-recovery via the RecoveryLog, and the full acceptance scenario: a
+recovery via the write-ahead RecoveryJournal, and the full
+acceptance scenario: a
 multi-stage DAG surviving node crashes + a rack outage + lost shuffle
 output with correct results.
 """
@@ -330,8 +331,8 @@ def test_blacklisting_can_be_disabled_by_config():
 
 # =================================================== AM crash recovery
 def test_chaos_am_crash_recovers_without_rerunning_maps():
-    """Satellite: the RecoveryLog replay finishes an interrupted DAG
-    without re-running completed tasks (paper 4.3 AM recovery)."""
+    """Journal replay finishes an interrupted DAG without re-running
+    completed tasks (paper 4.3 AM recovery)."""
     sim = make_sim()
     write_kv(sim, "/in", 200)
     map_runs = []
@@ -370,9 +371,9 @@ def test_chaos_am_crash_recovers_without_rerunning_maps():
     assert client.last_am is not first_am
     assert client.last_am.ctx.attempt == 2
     assert dict(sim.hdfs.read_file("/out/amrec")) == expected_sums(200)
-    # The recovered AM replayed completed maps from the RecoveryLog
-    # instead of re-running them: every map ran exactly once, and only
-    # under the first AM (attempt numbers were not restarted).
+    # The recovered AM replayed completed maps from the recovery
+    # journal instead of re-running them: every map ran exactly once,
+    # and only under the first AM (attempt numbers were not restarted).
     runs_per_task = Counter(t for t, _a in map_runs)
     assert len(runs_per_task) == maps_done_before_crash
     assert all(c == 1 for c in runs_per_task.values())

@@ -225,3 +225,143 @@ def test_canonical_journal_invariant_under_coalescing():
     deliveries = [line for journal in optimized[2] for line in journal
                   if line[1] == "DataDeliveryEvent"]
     assert deliveries, "no live deliveries — coalescing not exercised"
+
+
+# ------------------- journal-prefix replay determinism (hypothesis)
+
+from types import SimpleNamespace
+
+from hypothesis import given, settings, strategies as st
+
+from repro.tez.am import RecoveryJournal
+from repro.tez.am.state_machines import TABLES, StateMachine
+from repro.tez.am.structures import AttemptState, TaskState, VertexState
+from repro.tez.am.journal import DagJournalState, RecoveredTask
+
+_WAL_CACHE: dict = {}
+
+
+def recorded_wal():
+    """One recorded run's full write-ahead journal (module-cached:
+    hypothesis draws hundreds of prefixes from the same stream)."""
+    if "records" not in _WAL_CACHE:
+        sim = make_sim()
+        sim.hdfs.write("/in", [(i % 13, i) for i in range(500)],
+                       record_bytes=24)
+        m = fn_vertex("m", lambda c, d: {"r": list(d["src"])}, -1)
+        hdfs_source(m, "src", ["/in"])
+        r = fn_vertex("r", lambda c, d: {"out": [
+            (k, sum(vs)) for k, vs in d["m"]
+        ]}, 3)
+        hdfs_sink(r, "out", "/out")
+        dag = DAG("wal").add_vertex(m).add_vertex(r)
+        dag.add_edge(edge(m, r, SG))
+        client = sim.tez_client()
+        handle = client.submit_dag(dag)
+        sim.env.run(until=handle.completion)
+        assert handle.status.succeeded
+        _WAL_CACHE["records"] = client.recovery.records()
+    return _WAL_CACHE["records"]
+
+
+class _ReplayHandler:
+    """No-op actions; guards pass (the recorded run already proved
+    them — the journal only holds transitions that actually fired)."""
+
+    def __getattr__(self, name):
+        if name.startswith("vertex_") or name.endswith("_done"):
+            return lambda subject: True
+        return lambda subject, **ctx: None
+
+
+def machine_redispatch(records):
+    """Independent replay implementation: drive every journaled
+    transition through fresh audited state machines (real
+    ``StateMachine.fire`` against the shipped tables) and rebuild the
+    recovery state from the *machines'* trajectories, not the records'
+    ``to_state`` fields. Must agree with the pure fold exactly."""
+    machines: dict = {}
+    handler = _ReplayHandler()
+    state: dict[str, DagJournalState] = {}
+
+    def dag_state(name):
+        if name not in state:
+            state[name] = DagJournalState({}, set())
+        return state[name]
+
+    for record in records:
+        kind = record[0]
+        if kind == "transition":
+            _, _, dag, mkind, key, trigger, to_state, extra = record
+            mkey = (dag, mkind, key)
+            sm = machines.get(mkey)
+            if sm is None:
+                subject = SimpleNamespace(state=TABLES[mkind].initial)
+                sm = StateMachine(TABLES[mkind], subject, str(mkey),
+                                  handler=handler)
+                machines[mkey] = sm
+            sm.fire(trigger)
+            # Every journaled transition is legal from the machine's
+            # current state and lands where the record says it does.
+            assert sm.subject.state is to_state, (mkey, trigger)
+            if mkind == "attempt" and \
+                    sm.subject.state is AttemptState.SUCCEEDED:
+                node_id, events = extra or ("", ())
+                dag_state(dag).successes[key[0], key[1]] = RecoveredTask(
+                    tuple(events), node_id, key[2]
+                )
+            elif mkind == "task" and trigger == "restart":
+                dag_state(dag).successes.pop((key[0], key[1]), None)
+            elif mkind == "vertex":
+                if sm.subject.state is VertexState.SUCCEEDED:
+                    dag_state(dag).completed_vertices.add(key)
+                elif trigger == "reactivate":
+                    dag_state(dag).completed_vertices.discard(key)
+            elif mkind == "dag" and trigger == "run":
+                dag_state(dag).finished = False
+        elif kind == "dag_finished":
+            s = dag_state(record[2])
+            s.finished = True
+            s.successes.clear()
+            s.completed_vertices.clear()
+        elif kind == "checkpoint":
+            state = {name: s.copy() for name, s in record[2].items()}
+    return state
+
+
+@given(st.data())
+@settings(max_examples=50, deadline=None)
+def test_random_journal_prefix_fold_matches_machine_redispatch(data):
+    records = recorded_wal()
+    n = data.draw(st.integers(min_value=0, max_value=len(records)),
+                  label="prefix_length")
+    prefix = records[:n]
+    folded = RecoveryJournal.fold(prefix)
+    # Pure and deterministic: same prefix, same state, every time.
+    assert folded == RecoveryJournal.fold(list(prefix))
+    # And identical to re-dispatching the prefix through fresh audited
+    # state machines.
+    assert folded == machine_redispatch(prefix)
+
+
+def test_full_journal_fold_matches_final_run_state():
+    records = recorded_wal()
+    # Before the finish marker the fold holds every task of the DAG.
+    cut = next(i for i, r in enumerate(records)
+               if r[0] == "dag_finished")
+    live = RecoveryJournal.fold(records[:cut])["wal"]
+    task_keys = {
+        (r[4][0], r[4][1]) for r in records[:cut]
+        if r[0] == "transition" and r[3] == "task"
+    }
+    assert set(live.successes) == task_keys
+    assert live.completed_vertices == {"m", "r"}
+    for (vertex, index), rt in live.successes.items():
+        assert rt.node_id
+        assert rt.attempt_number >= 0
+        if vertex == "m":               # non-leaf: routed output events
+            assert rt.events
+    # After the marker the DAG is retired wholesale.
+    final = RecoveryJournal.fold(records)["wal"]
+    assert final.finished
+    assert final.successes == {}

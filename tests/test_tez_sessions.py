@@ -1,9 +1,13 @@
-"""Session, client and recovery-log behaviour (paper 4.2/4.3)."""
+"""Session, client and recovery-journal behaviour (paper 4.2/4.3)."""
+
+from types import SimpleNamespace
 
 import pytest
 
 from repro.tez import TezConfig
-from repro.tez.am import RecoveryLog
+from repro.tez.am import RecoveredTask, RecoveryJournal
+from repro.tez.am.dispatcher import StateTransitionEvent
+from repro.tez.am.structures import AttemptState, TaskState
 from repro.yarn import FinalApplicationStatus
 
 from helpers import (
@@ -30,31 +34,104 @@ def small_dag(name, out):
     return dag
 
 
-class TestRecoveryLog:
-    def test_record_and_lookup(self):
-        log = RecoveryLog()
-        log.record_success("d", "v", 0, ["ev"], "node1")
-        assert log.successes("d") == {("v", 0): (["ev"], "node1")}
+def attempt_success_event(dag_id="d#1", vertex="v", index=0, number=0,
+                          node="node1", events=("ev",)):
+    """A fabricated attempt SUCCEEDED transition, shaped like what the
+    dispatcher hands the journal at enqueue time."""
+    vr = SimpleNamespace(dag_id=dag_id, name=vertex)
+    task = SimpleNamespace(vertex=vr, index=index)
+    attempt = SimpleNamespace(
+        task=task, number=number, node_id=node,
+        _pending_success_events=list(events),
+    )
+    return StateTransitionEvent(
+        machine="attempt", subject_id=f"{vertex}/t{index}_a{number}",
+        from_state=AttemptState.RUNNING, to_state=AttemptState.SUCCEEDED,
+        trigger="succeed", subject=attempt,
+    )
 
-    def test_invalidate(self):
-        log = RecoveryLog()
-        log.record_success("d", "v", 0, [], "n")
-        log.invalidate("d", "v", 0)
-        assert log.successes("d") == {}
+
+def task_restart_event(dag_id="d#1", vertex="v", index=0):
+    vr = SimpleNamespace(dag_id=dag_id, name=vertex)
+    task = SimpleNamespace(vertex=vr, index=index)
+    return StateTransitionEvent(
+        machine="task", subject_id=f"{vertex}/t{index}",
+        from_state=TaskState.SUCCEEDED, to_state=TaskState.RUNNING,
+        trigger="restart", subject=task,
+    )
+
+
+class TestRecoveryJournal:
+    def test_success_transition_folds_into_recovery_state(self):
+        journal = RecoveryJournal()
+        epoch = journal.open_epoch()
+        journal.record(epoch, attempt_success_event())
+        assert journal.successes("d") == {
+            ("v", 0): RecoveredTask(("ev",), "node1", 0)
+        }
+
+    def test_restart_transition_revokes_success(self):
+        journal = RecoveryJournal()
+        epoch = journal.open_epoch()
+        journal.record(epoch, attempt_success_event())
+        journal.record(epoch, task_restart_event())
+        assert journal.successes("d") == {}
 
     def test_dag_finished_clears(self):
-        log = RecoveryLog()
-        log.record_success("d", "v", 0, [], "n")
-        log.record_dag_finished("d")
-        assert log.dag_finished("d")
-        assert log.successes("d") == {}
+        journal = RecoveryJournal()
+        epoch = journal.open_epoch()
+        journal.record(epoch, attempt_success_event())
+        journal.record_dag_finished("d", epoch=epoch)
+        assert journal.dag_finished("d")
+        assert journal.successes("d") == {}
 
     def test_independent_dags(self):
-        log = RecoveryLog()
-        log.record_success("a", "v", 0, [], "n")
-        log.record_success("b", "v", 1, [], "n")
-        assert ("v", 0) in log.successes("a")
-        assert ("v", 0) not in log.successes("b")
+        journal = RecoveryJournal()
+        epoch = journal.open_epoch()
+        journal.record(epoch, attempt_success_event(dag_id="a#1"))
+        journal.record(epoch, attempt_success_event(dag_id="b#1", index=1))
+        assert ("v", 0) in journal.successes("a")
+        assert ("v", 0) not in journal.successes("b")
+
+    def test_stale_epoch_appends_are_fenced(self):
+        journal = RecoveryJournal()
+        zombie = journal.open_epoch()
+        journal.open_epoch()            # restarted AM claims the journal
+        journal.record(zombie, attempt_success_event())
+        assert journal.successes("d") == {}
+        assert journal.fenced_appends == 1
+        journal.record_dag_finished("d", epoch=zombie)
+        assert not journal.dag_finished("d")
+        assert journal.fenced_appends == 2
+
+    def test_self_fence_blocks_crashing_writer(self):
+        journal = RecoveryJournal()
+        epoch = journal.open_epoch()
+        journal.fence(epoch)            # am.crash() fences its own epoch
+        journal.record(epoch, attempt_success_event())
+        assert journal.successes("d") == {}
+        assert journal.fenced_appends == 1
+
+    def test_checkpoint_compaction_bounds_log_and_preserves_state(self):
+        journal = RecoveryJournal(checkpoint_interval=8)
+        epoch = journal.open_epoch()
+        for i in range(50):
+            journal.record(epoch, attempt_success_event(index=i))
+        assert journal.checkpoints >= 5
+        assert len(journal) <= 8
+        recovered = journal.successes("d")
+        assert len(recovered) == 50
+        assert recovered[("v", 17)] == RecoveredTask(("ev",), "node1", 0)
+
+    def test_fold_is_pure_and_reusable(self):
+        journal = RecoveryJournal()
+        epoch = journal.open_epoch()
+        journal.record(epoch, attempt_success_event())
+        records = journal.records()
+        a = RecoveryJournal.fold(records)
+        b = RecoveryJournal.fold(records)
+        assert a == b
+        assert a["d"].successes == journal.successes("d")
 
 
 class TestSessionLifecycle:
