@@ -8,6 +8,11 @@ Tracing: pass ``--trace-out PATH`` (or set ``REPRO_TRACE_OUT=PATH``)
 to any figure script to dump the run's execution timeline — Chrome
 trace-event JSON (open in chrome://tracing or Perfetto) by default, or
 lossless JSONL when PATH ends in ``.jsonl``.
+
+Partitioned store: pass ``--store-out DIR`` (or ``REPRO_STORE_OUT``)
+to land the run's full partitioned telemetry store — segments,
+manifest and incremental rollups — queryable afterwards with
+``python -m repro.telemetry.query DIR``.
 """
 
 import os
@@ -16,21 +21,31 @@ import sys
 SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "1"))
 
 
+def _cli_path(flag, env_var):
+    argv = sys.argv
+    for i, arg in enumerate(argv):
+        if arg == flag and i + 1 < len(argv):
+            return argv[i + 1]
+        if arg.startswith(flag + "="):
+            return arg.split("=", 1)[1]
+    return os.environ.get(env_var) or None
+
+
 def trace_out_path():
     """PATH from ``--trace-out PATH`` / ``--trace-out=PATH`` on the
     command line, else the ``REPRO_TRACE_OUT`` env var, else None."""
-    argv = sys.argv
-    for i, arg in enumerate(argv):
-        if arg == "--trace-out" and i + 1 < len(argv):
-            return argv[i + 1]
-        if arg.startswith("--trace-out="):
-            return arg.split("=", 1)[1]
-    return os.environ.get("REPRO_TRACE_OUT") or None
+    return _cli_path("--trace-out", "REPRO_TRACE_OUT")
+
+
+def store_out_path():
+    """DIR from ``--store-out DIR`` / ``REPRO_STORE_OUT``, else None."""
+    return _cli_path("--store-out", "REPRO_STORE_OUT")
 
 
 def finish_bench(sim, table=None, label="bench"):
     """Shared benchmark epilogue: attach a telemetry digest to the
-    table and honour --trace-out by exporting the timeline."""
+    table and honour --trace-out/--store-out by exporting the
+    timeline."""
     from repro.bench import telemetry_notes
     from repro.telemetry import write_chrome_trace, write_jsonl
 
@@ -45,6 +60,16 @@ def finish_bench(sim, table=None, label="bench"):
         else:
             count = write_chrome_trace(store, path)
         print(f"[{label}] wrote {count} trace records to {path}")
+    store_dir = store_out_path()
+    if store_dir:
+        # Benchmarks that run several simulations (e.g. fig12's
+        # service-mode vs Tez comparison) get one store per sim.
+        if os.path.exists(os.path.join(store_dir, "MANIFEST.json")):
+            store_dir = f"{store_dir.rstrip('/')}-{label}"
+        sim.telemetry.persist_store(store_dir)
+        n = sim.telemetry.spanstore.segment_count
+        print(f"[{label}] persisted telemetry store "
+              f"({n} segments) to {store_dir}")
 
 
 def rows_equal(a, b):

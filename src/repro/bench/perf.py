@@ -57,6 +57,7 @@ import hashlib
 import io
 import json
 import pstats
+import statistics
 import sys
 import time
 from pathlib import Path
@@ -103,6 +104,9 @@ CRITERIA = {
     "wide_shuffle.dispatched_ratio": 5.0,
     "wide_shuffle_buffered.wall_speedup": 1.5,
     "sched_heavy.wall_speedup": 1.5,
+    # Always-on observability: the partitioned span store may cost at
+    # most 5% wall vs telemetry=False on the buffered wide shuffle.
+    "telemetry_overhead.wall_speedup": 0.95,
 }
 TOLERANCE = 0.20   # allowed ratio drop vs the committed reference
 
@@ -346,6 +350,105 @@ def sched_heavy(config: TezConfig, smoke: bool) -> dict:
     }
 
 
+def _telemetry_overhead_leg(enabled: bool, smoke: bool) -> dict:
+    n = 40 if smoke else 100
+    rows = 128                       # records per (producer, partition)
+    ring = 512
+    sim = SimCluster(num_nodes=4, nodes_per_rack=2,
+                     memory_per_node_mb=16 * 1024, cores_per_node=8,
+                     telemetry=enabled,
+                     telemetry_opts={"ring_spans": ring,
+                                     "ring_events": ring})
+    # Producers ship a real record volume through the sorted (buffered)
+    # edge — every fetch carries ``rows`` records that get partitioned,
+    # sorted and merged, as in the figure workloads. A one-record
+    # shuffle would make the data plane free and turn this into a pure
+    # telemetry-density microbenchmark.
+    producer = Vertex("m", Descriptor(FnProcessor, {
+        "fn": lambda c, d, n=n: {
+            "r": [(p, i) for p in range(n) for i in range(rows)]},
+    }), parallelism=n)
+    consumer = Vertex("r", Descriptor(FnProcessor, {
+        "fn": lambda c, d: {},
+    }), parallelism=n)
+    consumer.vertex_manager = Descriptor(
+        ShuffleVertexManager, ShuffleVertexManagerConfig())
+    dag = DAG("wide-shuffle").add_vertex(producer).add_vertex(consumer)
+    dag.add_edge(_sg_edge(producer, consumer))
+    out = _timed_run(sim, dag, TezConfig())
+    if enabled:
+        tel = sim.telemetry
+        store = tel.spanstore
+        resident_cap = 2 * ring + 8   # rings + control-event reserve
+        assert store.peak_resident <= resident_cap, (
+            f"telemetry store resident {store.peak_resident} exceeds "
+            f"ring capacity {resident_cap}: memory is not bounded"
+        )
+        assert store.flushes >= 1, (
+            "telemetry store never flushed: ring sizing does not "
+            "exercise the bounded-memory path"
+        )
+        assert store.dropped_spans == 0 and store.dropped_events == 0
+        tel.close()
+        out["peak_resident"] = store.peak_resident
+        out["segments"] = store.segment_count
+        out["store_records"] = store.span_count + store.event_count
+        store.discard()
+    return out
+
+
+# One suite run measures both telemetry_overhead legs together; the
+# second scenario invocation drains the cached other-leg result.
+_telemetry_overhead_cache: dict = {}
+
+
+def telemetry_overhead(config: TezConfig, smoke: bool) -> dict:
+    """Cost of always-on observability with the partitioned span
+    store, on the buffered wide-shuffle workload.
+
+    Unlike the other scenarios, both legs run the *optimized* event
+    plane — the passed config only selects the leg: the "baseline" leg
+    is ``telemetry=False`` (every emission site no-ops), the
+    "optimized" leg is full telemetry with the store default-on, sized
+    with deliberately small ring buffers so segments actually flush.
+    The wall ratio is therefore 1/(1 + overhead); the acceptance
+    criterion requires >= 0.95 (<= 5% overhead). The enabled leg
+    additionally asserts the store's bounded-memory invariant: peak
+    resident records never exceed the ring capacities — a constant —
+    regardless of task count.
+
+    Measurement: a <=5% *overhead bound* is far tighter than the other
+    scenarios' >=1.5x speedup floors, so a single unpaired run per leg
+    would gate on host-clock noise (CPU frequency drift on shared
+    hosts swings single runs by >10% over ~10s). The first invocation
+    therefore runs several short off/on pairs back to back — adjacent
+    legs see the same host speed, so each pair's ratio cancels drift —
+    and reports the *median* pair ratio: the off leg carries the
+    median off wall, the on leg the wall implied by the median ratio.
+    The second invocation returns the cached other leg.
+    """
+    enabled = config.composite_dme   # legacy-config call = telemetry off
+    key = "smoke" if smoke else "full"
+    cache = _telemetry_overhead_cache.setdefault(key, {})
+    if not cache:
+        pairs = 3 if smoke else 7
+        off_walls, ratios = [], []
+        off = on = None
+        for _ in range(pairs):
+            off = _telemetry_overhead_leg(False, smoke)
+            on = _telemetry_overhead_leg(True, smoke)
+            off_walls.append(off["wall_s"])
+            ratios.append(off["wall_s"] / on["wall_s"])
+        off["wall_s"] = statistics.median(off_walls)
+        on["wall_s"] = round(
+            off["wall_s"] / statistics.median(ratios), 4)
+        cache[False], cache[True] = off, on
+    result = cache.pop(enabled)
+    if not cache:
+        _telemetry_overhead_cache.pop(key, None)
+    return result
+
+
 SCENARIOS = {
     "wide_shuffle": lambda cfg, smoke: wide_shuffle(cfg, smoke),
     "wide_shuffle_buffered":
@@ -353,6 +456,7 @@ SCENARIOS = {
     "diamond": diamond,
     "chaos": chaos,
     "sched_heavy": sched_heavy,
+    "telemetry_overhead": telemetry_overhead,
 }
 
 

@@ -33,13 +33,13 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..harness import SimCluster
 from ..telemetry.metrics import Histogram
+from ..telemetry.store import JsonlStreamWriter
 from ..tez import (
     DAG,
     DataMovementType,
@@ -277,15 +277,33 @@ def run_sweep(records: int = 120, reducers: int = 2, stride: int = 1,
     say(f"baseline: {base.status_name}, {len(base.rows)} rows, "
         f"{total} control events, wall {base.wall:.2f}s")
 
-    points: list[CrashPoint] = []
+    # One record per crash point streams straight to the artifact as
+    # it is produced; only scalar accumulators stay resident, so a
+    # full-stride sweep (thousands of crash points, each with a
+    # per-task run log) holds one outcome in memory at a time.
+    stream = JsonlStreamWriter(out) if out else None
+    n_points = n_crashed = 0
+    failures: list[str] = []
+    sums = {"events_replayed": 0, "tasks_recovered": 0,
+            "work_reexecuted": 0, "entries_dropped": 0,
+            "fenced_appends": 0}
     wall_delta = Histogram("recovery.wall_delta")
     for k in range(1, total + 1, max(1, stride)):
         res = _execute(records, reducers, crash_after=k,
                        checkpoint_interval=checkpoint_interval)
         point = _check_point(base, res, k)
-        points.append(point)
+        if stream is not None:
+            stream.write(_point_record(n_points, point))
+        n_points += 1
         if res.crashed:
+            n_crashed += 1
             wall_delta.observe(res.wall - base.wall)
+        failures.extend(point.violations)
+        sums["events_replayed"] += res.events_replayed
+        sums["tasks_recovered"] += res.tasks_recovered
+        sums["work_reexecuted"] += res.reexecuted_work()
+        sums["entries_dropped"] += res.entries_dropped
+        sums["fenced_appends"] += res.fenced_appends
         if point.violations:
             for violation in point.violations:
                 say(f"FAIL {violation}")
@@ -295,30 +313,25 @@ def run_sweep(records: int = 120, reducers: int = 2, stride: int = 1,
                 f"redone {res.reexecuted_work()}, wall +"
                 f"{res.wall - base.wall:.2f}s")
 
-    crashed = [p for p in points if p.outcome.crashed]
-    failures = [v for p in points for v in p.violations]
     summary = {
         "ok": not failures,
         "baseline_events": total,
         "baseline_wall": base.wall,
-        "points": len(points),
-        "crashed_points": len(crashed),
+        "points": n_points,
+        "crashed_points": n_crashed,
         "violations": len(failures),
-        "events_replayed": sum(p.outcome.events_replayed for p in points),
-        "tasks_recovered": sum(p.outcome.tasks_recovered for p in points),
-        "work_reexecuted": sum(p.outcome.reexecuted_work()
-                               for p in points),
-        "entries_dropped": sum(p.outcome.entries_dropped for p in points),
-        "fenced_appends": sum(p.outcome.fenced_appends for p in points),
+        **sums,
         "wall_delta_mean": wall_delta.mean,
         "wall_delta_p50": wall_delta.percentile(50),
         "wall_delta_p95": wall_delta.percentile(95),
         "wall_delta_max": wall_delta.percentile(100),
     }
-    if out:
-        _write_artifact(out, points, summary)
+    if stream is not None:
+        stream.write(_summary_record(n_points, "recovery.sweep_summary",
+                                     summary))
+        stream.close()
         say(f"wrote {out}")
-    say(f"sweep: {len(crashed)}/{len(points)} crash points recovered, "
+    say(f"sweep: {n_crashed}/{n_points} crash points recovered, "
         f"{len(failures)} violations")
     return summary
 
@@ -409,43 +422,43 @@ def run_soak(records: int = 200, reducers: int = 2, dags: int = 3,
         f"{summary['tasks_recovered']} tasks recovered, "
         f"{len(failures)} violations")
     if out:
-        _write_artifact(out, [], summary, kind="recovery.soak_summary")
+        with JsonlStreamWriter(out) as stream:
+            stream.write(_summary_record(0, "recovery.soak_summary",
+                                         summary))
         say(f"wrote {out}")
     return summary
 
 
 # -------------------------------------------------------------- artifact
-def _write_artifact(path: str, points: list, summary: dict,
-                    kind: str = "recovery.sweep_summary") -> None:
-    """JSONL in the telemetry event schema, one record per crash point
-    plus a trailing summary (``repro.telemetry.check``-clean)."""
-    records = []
-    for i, point in enumerate(points):
-        o = point.outcome
-        records.append({
-            "type": "event", "seq": i, "ts": float(point.k),
-            "kind": "recovery.sweep_point",
-            "attrs": {
-                "k": point.k,
-                "crashed": o.crashed,
-                "status": o.status_name,
-                "am_attempts": o.am_attempts,
-                "events_replayed": o.events_replayed,
-                "tasks_recovered": o.tasks_recovered,
-                "work_reexecuted": o.reexecuted_work(),
-                "entries_dropped": o.entries_dropped,
-                "fenced_appends": o.fenced_appends,
-                "wall": o.wall,
-                "violations": list(point.violations),
-            },
-        })
-    records.append({
-        "type": "event", "seq": len(records), "ts": 0.0, "kind": kind,
-        "attrs": summary,
-    })
-    with open(path, "w", encoding="utf-8") as fh:
-        for record in records:
-            fh.write(json.dumps(record) + "\n")
+# The artifact is JSONL in the telemetry event schema, one record per
+# crash point plus a trailing summary (``repro.telemetry.check``-clean),
+# streamed through the store's JsonlStreamWriter as points complete —
+# byte-identical to the historical build-a-list-then-dump form.
+
+def _point_record(seq: int, point: CrashPoint) -> dict:
+    o = point.outcome
+    return {
+        "type": "event", "seq": seq, "ts": float(point.k),
+        "kind": "recovery.sweep_point",
+        "attrs": {
+            "k": point.k,
+            "crashed": o.crashed,
+            "status": o.status_name,
+            "am_attempts": o.am_attempts,
+            "events_replayed": o.events_replayed,
+            "tasks_recovered": o.tasks_recovered,
+            "work_reexecuted": o.reexecuted_work(),
+            "entries_dropped": o.entries_dropped,
+            "fenced_appends": o.fenced_appends,
+            "wall": o.wall,
+            "violations": list(point.violations),
+        },
+    }
+
+
+def _summary_record(seq: int, kind: str, summary: dict) -> dict:
+    return {"type": "event", "seq": seq, "ts": 0.0, "kind": kind,
+            "attrs": summary}
 
 
 # ------------------------------------------------------------------- CLI

@@ -31,6 +31,7 @@ class SimCluster:
         secure: bool = True,
         preemption_enabled: bool = False,
         telemetry: bool = True,
+        telemetry_opts: Optional[dict] = None,
         **spec_overrides,
     ):
         if spec is None:
@@ -42,7 +43,11 @@ class SimCluster:
         # ``telemetry=False`` turns observability into a no-op for
         # perf-sensitive runs: spans/events are skipped at every
         # emission site (see telemetry.facade.get_telemetry).
-        self.telemetry = Telemetry(self.env, enabled=telemetry)
+        # ``telemetry_opts`` configures the partitioned span store
+        # (ring sizes, overflow policy, spool directory — see
+        # telemetry.store.SpanStore).
+        self.telemetry = Telemetry(self.env, enabled=telemetry,
+                                   store_opts=telemetry_opts)
         self.cluster = Cluster(self.env, spec)
         self.rm = ResourceManager(
             self.env, self.cluster, queues=queues, secure=secure,

@@ -58,15 +58,13 @@ class Fetcher:
         self.spec = spec or cluster.spec
         self.rng = rng or random.Random(cluster.spec.seed)
         # Attempt id of the consumer task, for timeline attribution.
+        # The owning dag never changes for a fetcher's lifetime, and
+        # the span site runs once per fetch — split it up front.
         self.owner = owner
+        self._owner_dag = owner.split("/", 1)[0] if "/" in owner else ""
         self.bytes_fetched = 0
         self.fetch_count = 0
         self.retries = 0
-
-    @property
-    def _owner_dag(self) -> str:
-        # Attempt ids look like "dag#N/vertex/tI_aJ".
-        return self.owner.split("/", 1)[0] if "/" in self.owner else ""
 
     def _backoff(self, attempts: int) -> float:
         """Exponential backoff with seeded jitter, capped per retry."""

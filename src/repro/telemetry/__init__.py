@@ -43,7 +43,9 @@ from .export import (
 )
 from .facade import Telemetry, get_telemetry
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, MetricsView
+from .rollups import RollupEngine
 from .spans import Span, Tracer
+from .store import JsonlStreamWriter, SpanStore
 from .timeline import TimelineStore
 
 __all__ = [
@@ -54,9 +56,12 @@ __all__ = [
     "EventLog",
     "Gauge",
     "Histogram",
+    "JsonlStreamWriter",
     "MetricsRegistry",
     "MetricsView",
+    "RollupEngine",
     "Span",
+    "SpanStore",
     "TaskTraceEntry",
     "Telemetry",
     "TelemetryEvent",

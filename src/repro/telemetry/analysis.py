@@ -28,7 +28,8 @@ from .spans import Span
 from .timeline import TimelineStore
 
 __all__ = ["CriticalPathSegment", "CriticalPathReport", "critical_path",
-           "DagSummary", "dag_summary", "summarize_session"]
+           "DagSummary", "dag_summary", "summarize_session",
+           "effective_update", "walk_chain", "telescope"]
 
 
 @dataclass
@@ -86,17 +87,30 @@ class CriticalPathReport:
         return "\n".join(lines)
 
 
+def effective_update(eff: dict[tuple[str, int], Span],
+                     span: Span) -> None:
+    """Fold one attempt span into the effective-attempt map.
+
+    The effective completion of a task is its latest-finishing
+    SUCCEEDED attempt; exact end-time ties keep the lowest span id, so
+    folding in close order (incremental rollups) and in creation order
+    (post-hoc scans) converge on the same map.
+    """
+    if not span.finished or span.attrs.get("outcome") != "succeeded":
+        return
+    key = (span.attrs.get("vertex", ""), span.attrs.get("index", 0))
+    best = eff.get(key)
+    if best is None or span.end > best.end or (
+            span.end == best.end and span.span_id < best.span_id):
+        eff[key] = span
+
+
 def _effective_attempts(store: TimelineStore,
                         dag_id: str) -> dict[tuple[str, int], Span]:
     """Latest-finishing succeeded attempt per (vertex, task index)."""
     eff: dict[tuple[str, int], Span] = {}
     for span in store.attempt_spans(dag_id):
-        if not span.finished or span.attrs.get("outcome") != "succeeded":
-            continue
-        key = (span.attrs.get("vertex", ""), span.attrs.get("index", 0))
-        best = eff.get(key)
-        if best is None or span.end > best.end:
-            eff[key] = span
+        effective_update(eff, span)
     return eff
 
 
@@ -110,30 +124,21 @@ def _producers(store: TimelineStore,
     return out
 
 
-def critical_path(store: TimelineStore, dag_id: str) -> CriticalPathReport:
-    dag = store.dag_span(dag_id)
-    if dag is None or not dag.finished:
-        raise ValueError(f"no finished dag span for {dag_id!r}")
+def _latest(spans) -> Span:
+    """Deterministic "finished last": ties on (end, start) resolve to
+    the lowest span id regardless of container iteration order, so the
+    incremental (close-order) and post-hoc (creation-order) walks pick
+    the same attempt."""
+    return max(spans, key=lambda s: (s.end, s.start, -s.span_id))
 
-    report = CriticalPathReport(
-        dag_id=dag_id,
-        dag_name=dag.attrs.get("dag_name", dag.name),
-        start=dag.start,
-        end=dag.end,
-    )
 
-    eff = _effective_attempts(store, dag_id)
+def walk_chain(eff: dict[tuple[str, int], Span],
+               producers: dict[str, list[tuple[str, str]]]) -> list[Span]:
+    """Backward critical-path walk from the attempt that finished
+    last, returned in forward (execution) order."""
     if not eff:
-        # Nothing succeeded (failed/killed DAG): the whole window is
-        # one opaque segment so the telescoping invariant still holds.
-        report.segments.append(CriticalPathSegment(
-            "init", dag.start, dag.end, vertex="", attempt=""))
-        return report
-
-    producers = _producers(store, dag_id)
-
-    # Backward walk from the attempt that finished last.
-    cur = max(eff.values(), key=lambda s: (s.end, s.start))
+        return []
+    cur = _latest(eff.values())
     chain = [cur]
     while True:
         candidates: list[Span] = []
@@ -150,14 +155,25 @@ def critical_path(store: TimelineStore, dag_id: str) -> CriticalPathReport:
         candidates = [c for c in candidates if c.end <= cur.end]
         if not candidates:
             break
-        cur = max(candidates, key=lambda s: (s.end, s.start))
+        cur = _latest(candidates)
         chain.append(cur)
     chain.reverse()
+    return chain
 
-    # Telescoping segments: every boundary is clamped into the window
-    # of its attempt, so consecutive segments share endpoints and the
-    # sum is exactly dag.end - dag.start.
-    t = dag.start
+
+def telescope(report: CriticalPathReport, chain: list[Span]) -> None:
+    """Fill ``report.segments`` by telescoping the chain over the DAG
+    window: every boundary is clamped into the window of its attempt,
+    so consecutive segments share endpoints and the sum is exactly
+    ``report.end - report.start``. An empty chain (nothing succeeded:
+    failed/killed DAG) renders the whole window as one opaque ``init``
+    segment so the invariant still holds."""
+    if not chain:
+        report.segments.append(CriticalPathSegment(
+            "init", report.start, report.end, vertex="", attempt=""))
+        return
+
+    t = report.start
 
     def push(kind: str, start: float, end: float, span: Span) -> float:
         if end > start:
@@ -176,12 +192,28 @@ def critical_path(store: TimelineStore, dag_id: str) -> CriticalPathReport:
         t = push("queue", queued, launched, span)
         t = push("run", launched, span.end, span)
 
-    if dag.end > t:
+    if report.end > t:
         report.segments.append(CriticalPathSegment(
-            "finalize", t, dag.end,
+            "finalize", t, report.end,
             vertex=chain[-1].attrs.get("vertex", ""),
             attempt="",
         ))
+
+
+def critical_path(store: TimelineStore, dag_id: str) -> CriticalPathReport:
+    dag = store.dag_span(dag_id)
+    if dag is None or not dag.finished:
+        raise ValueError(f"no finished dag span for {dag_id!r}")
+
+    report = CriticalPathReport(
+        dag_id=dag_id,
+        dag_name=dag.attrs.get("dag_name", dag.name),
+        start=dag.start,
+        end=dag.end,
+    )
+    eff = _effective_attempts(store, dag_id)
+    producers = _producers(store, dag_id) if eff else {}
+    telescope(report, walk_chain(eff, producers))
     return report
 
 

@@ -1,19 +1,128 @@
-"""JSONL trace schema checker (used by CI).
+"""JSONL trace and partitioned-store schema checker (used by CI).
 
 Usage::
 
     python -m repro.telemetry.check trace.jsonl [more.jsonl ...]
+    python -m repro.telemetry.check --store STORE_DIR [...]
 
-Exits 0 when every record in every file is a well-formed span/event
-record, 1 otherwise (problems printed one per line).
+``--store`` validates a partitioned segment directory end to end:
+manifest/segment cross-consistency (files exist, footers agree with
+their manifest entries, record counts match), partition-key discipline
+(every record in a segment belongs to the segment's partition),
+intra-segment ordering (events by seq, both within the footer's key
+range), plus the per-record schema of every span/event — including the
+attr schema of ``telemetry.backpressure`` control events.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import sys
 
 from .export import validate_records
+from .store import (MANIFEST_NAME, SEGMENT_DIR, event_partition,
+                    read_manifest, span_partition)
+
+# telemetry.backpressure is a control event (emitted on ring overflow
+# in lossy mode); its attrs are a stable schema so downstream alerting
+# can rely on them.
+_BACKPRESSURE_KEYS = {"ring", "capacity", "policy", "dropped_spans",
+                      "dropped_events"}
+
+
+def check_backpressure_event(attrs: dict) -> list[str]:
+    problems = []
+    missing = _BACKPRESSURE_KEYS - attrs.keys()
+    if missing:
+        problems.append(f"backpressure event missing {sorted(missing)}")
+        return problems
+    if attrs["ring"] not in ("span", "event"):
+        problems.append(f"backpressure ring {attrs['ring']!r}")
+    if attrs["policy"] not in ("block", "drop"):
+        problems.append(f"backpressure policy {attrs['policy']!r}")
+    for key in ("capacity", "dropped_spans", "dropped_events"):
+        if not isinstance(attrs[key], int) or attrs[key] < 0:
+            problems.append(f"backpressure {key}={attrs[key]!r}")
+    return problems
+
+
+def check_store(store_dir: str) -> list[str]:
+    """Validate one partitioned store directory; returns problems."""
+    try:
+        manifest = read_manifest(store_dir)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{store_dir}: unreadable {MANIFEST_NAME}: {exc}"]
+    problems: list[str] = []
+    entries = manifest.get("segments", [])
+    if not entries:
+        problems.append(f"{store_dir}: manifest lists no segments")
+    seen_files = set()
+    for entry in entries:
+        name = entry.get("file", "?")
+        where = f"{store_dir}/{SEGMENT_DIR}/{name}"
+        if name in seen_files:
+            problems.append(f"{where}: listed twice in manifest")
+        seen_files.add(name)
+        path = os.path.join(store_dir, SEGMENT_DIR, name)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                lines = [json.loads(line) for line in fh if line.strip()]
+        except (OSError, json.JSONDecodeError) as exc:
+            problems.append(f"{where}: {exc}")
+            continue
+        if not lines or lines[-1].get("type") != "footer":
+            problems.append(f"{where}: missing footer line")
+            continue
+        footer, records = lines[-1], lines[:-1]
+        for key in ("rtype", "kind", "dag", "count", "min_ts", "max_ts",
+                    "min_key", "max_key"):
+            if footer.get(key) != entry.get(key):
+                problems.append(
+                    f"{where}: footer {key}={footer.get(key)!r} != "
+                    f"manifest {entry.get(key)!r}")
+        if len(records) != entry.get("count"):
+            problems.append(f"{where}: {len(records)} records, manifest "
+                            f"says {entry.get('count')}")
+        problems.extend(f"{where}: {p}" for p in validate_records(records))
+        rtype, kind, dag = entry.get("rtype"), entry.get("kind"), \
+            entry.get("dag")
+        order_key = "seq" if rtype == "event" else "span_id"
+        prev = None
+        for rec in records:
+            if rec.get("type") != rtype:
+                problems.append(f"{where}: {rec.get('type')} record in "
+                                f"{rtype} segment")
+                continue
+            part = (event_partition(rec["kind"], rec["attrs"])
+                    if rtype == "event"
+                    else span_partition(rec["kind"], rec["attrs"]))
+            if part != (rtype, kind, dag):
+                problems.append(f"{where}: record partition {part} != "
+                                f"segment ({rtype}, {kind}, {dag})")
+            key = rec.get(order_key)
+            if rtype == "event" and prev is not None and key < prev:
+                problems.append(f"{where}: seq {key} out of order")
+            prev = key
+            lo, hi = entry.get("min_key"), entry.get("max_key")
+            if lo is not None and (key < lo or key > hi):
+                problems.append(f"{where}: {order_key} {key} outside "
+                                f"footer range [{lo}, {hi}]")
+            if (rtype == "event"
+                    and rec["kind"] == "telemetry.backpressure"):
+                problems.extend(f"{where}: {p}" for p in
+                                check_backpressure_event(rec["attrs"]))
+    try:
+        on_disk = set(os.listdir(os.path.join(store_dir, SEGMENT_DIR)))
+    except OSError as exc:
+        problems.append(f"{store_dir}: {exc}")
+        on_disk = seen_files
+    for orphan in sorted(on_disk - seen_files):
+        problems.append(f"{store_dir}: segment {orphan} not in manifest")
+    for missing in sorted(seen_files - on_disk):
+        problems.append(f"{store_dir}: manifest entry {missing} missing "
+                        f"on disk")
+    return problems
 
 
 def check_file(path: str) -> list[str]:
@@ -36,24 +145,41 @@ def check_file(path: str) -> list[str]:
 
 
 def main(argv: list[str]) -> int:
+    store_mode = False
+    if argv and argv[0] == "--store":
+        store_mode = True
+        argv = argv[1:]
     if not argv:
-        print("usage: python -m repro.telemetry.check FILE.jsonl ...",
+        print("usage: python -m repro.telemetry.check FILE.jsonl ... |"
+              " --store STORE_DIR ...",
               file=sys.stderr)
         return 2
     problems = []
     total = 0
-    for path in argv:
-        problems.extend(check_file(path))
-        try:
-            with open(path, encoding="utf-8") as fh:
-                total += sum(1 for line in fh if line.strip())
-        except OSError:
-            pass
+    if store_mode:
+        for store_dir in argv:
+            problems.extend(check_store(store_dir))
+            try:
+                manifest = read_manifest(store_dir)
+                total += sum(e.get("count", 0)
+                             for e in manifest.get("segments", []))
+            except (OSError, json.JSONDecodeError):
+                pass
+        what = "store(s)"
+    else:
+        for path in argv:
+            problems.extend(check_file(path))
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    total += sum(1 for line in fh if line.strip())
+            except OSError:
+                pass
+        what = "file(s)"
     for problem in problems:
         print(problem)
     if problems:
         return 1
-    print(f"ok: {total} records across {len(argv)} file(s)")
+    print(f"ok: {total} records across {len(argv)} {what}")
     return 0
 
 

@@ -15,7 +15,7 @@ from typing import Iterator, Optional
 __all__ = ["TelemetryEvent", "EventLog", "TaskTraceEntry"]
 
 
-@dataclass
+@dataclass(slots=True)
 class TelemetryEvent:
     """One typed record on the timeline."""
 
@@ -29,22 +29,40 @@ class TelemetryEvent:
 
 
 class EventLog:
-    """Append-only, emission-ordered log of :class:`TelemetryEvent`."""
+    """Append-only, emission-ordered log of :class:`TelemetryEvent`.
 
-    def __init__(self):
+    With a *sink* (the partitioned span store) the log keeps nothing
+    resident: every emission is handed straight to the store's event
+    ring and queries stream back out of partitioned segments. Without
+    one it retains the full list, as it always did.
+    """
+
+    def __init__(self, sink=None):
+        self.sink = sink
         self._events: list[TelemetryEvent] = []
+        self._count = 0
 
-    def emit(self, kind: str, ts: float, **attrs) -> TelemetryEvent:
-        event = TelemetryEvent(ts=ts, kind=kind, attrs=attrs,
-                               seq=len(self._events))
-        self._events.append(event)
+    def emit(self, kind: str, ts: float, _control: bool = False,
+             **attrs) -> TelemetryEvent:
+        event = TelemetryEvent(ts, kind, attrs, self._count)
+        self._count += 1
+        if self.sink is None:
+            self._events.append(event)
+        else:
+            self.sink.add_event(event, control=_control)
         return event
 
     def __len__(self) -> int:
-        return len(self._events)
+        return self._count
 
     def __iter__(self) -> Iterator[TelemetryEvent]:
-        return iter(self._events)
+        if self.sink is None:
+            return iter(self._events)
+        return (
+            TelemetryEvent(ts=rec["ts"], kind=rec["kind"],
+                           attrs=rec["attrs"], seq=rec["seq"])
+            for rec in self.sink.iter_event_records()
+        )
 
     def select(
         self,
@@ -55,6 +73,14 @@ class EventLog:
         **attrs,
     ) -> list[TelemetryEvent]:
         """Filter by exact kind, kind prefix, time range and attrs."""
+        if self.sink is not None:
+            return [
+                TelemetryEvent(ts=rec["ts"], kind=rec["kind"],
+                               attrs=rec["attrs"], seq=rec["seq"])
+                for rec in self.sink.iter_event_records(
+                    kind=kind, prefix=prefix, since=since, until=until,
+                    attrs=attrs)
+            ]
         out = []
         for ev in self._events:
             if kind is not None and ev.kind != kind:

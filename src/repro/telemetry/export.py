@@ -233,15 +233,26 @@ def _span_record(span: Span) -> dict:
 
 
 def write_jsonl(store: TimelineStore, path: str) -> int:
-    """Dump every span then every event, one JSON object per line."""
+    """Dump every span then every event, one JSON object per line.
+
+    Spans come first in creation order, then events in emission order
+    — byte-identical whether the timeline is in memory or streamed
+    back out of partitioned segments. With a segment-backed store the
+    event stream is a k-way merge over segment files, so the resident
+    cost is one record per open segment, not the timeline."""
     count = 0
     with open(path, "w", encoding="utf-8") as fh:
         for span in store.spans():
             fh.write(json.dumps(_span_record(span)) + "\n")
             count += 1
-        for ev in store.events():
-            fh.write(json.dumps(_event_record(ev)) + "\n")
-            count += 1
+        if store.spanstore is not None and store.log.sink is not None:
+            for rec in store.spanstore.iter_event_records():
+                fh.write(json.dumps(rec) + "\n")
+                count += 1
+        else:
+            for ev in store.events():
+                fh.write(json.dumps(_event_record(ev)) + "\n")
+                count += 1
     return count
 
 

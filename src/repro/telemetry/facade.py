@@ -11,15 +11,26 @@ telemetry ambiently through the environment they already hold::
 so the whole layer is optional: simulations built without a
 :class:`Telemetry` (raw ``Environment`` unit tests) pay only a
 ``getattr`` per emission site.
+
+Storage: the system of record is the partitioned on-disk
+:class:`~repro.telemetry.store.SpanStore` (``self.spanstore``) —
+spans and events stream through its ring buffers into
+dimension-partitioned segments, and per-DAG summaries / critical paths
+are maintained incrementally by the :class:`RollupEngine` at
+span-close time. The :class:`TimelineStore` query API (``self.store``)
+is unchanged and reads back through the segments transparently.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Optional
 
 from .events import EventLog, TelemetryEvent
 from .metrics import MetricsRegistry
+from .rollups import RollupEngine
 from .spans import Span, Tracer
+from .store import SpanStore
 from .timeline import TimelineStore
 
 __all__ = ["Telemetry", "get_telemetry"]
@@ -41,23 +52,32 @@ def get_telemetry(env) -> Optional["Telemetry"]:
 
 class Telemetry:
     def __init__(self, env=None, verbose_sim: bool = False,
-                 enabled: bool = True):
+                 enabled: bool = True,
+                 store_opts: Optional[dict] = None):
         self.env = env
         # Hot-path kill switch: when False, get_telemetry() reports no
         # telemetry and event/span/finish return without recording.
         # Decided at construction: the kernel process hook is only
         # registered for enabled telemetry.
         self.enabled = enabled
-        self.log = EventLog()
-        self.tracer = Tracer(env=env)
+        opts = dict(store_opts or {})
+        if os.environ.get("REPRO_TELEMETRY_TEE") == "1":
+            opts.setdefault("tee", True)
+        opts.setdefault("on_overflow", self._on_ring_overflow)
+        self.spanstore = SpanStore(**opts)
+        self.rollups = RollupEngine()
+        self.log = EventLog(sink=self.spanstore)
+        self.tracer = Tracer(env=env, sink=self.spanstore)
         self.metrics = MetricsRegistry()
-        self.store = TimelineStore(self.log, self.tracer)
+        self.store = TimelineStore(self.log, self.tracer,
+                                   spanstore=self.spanstore)
         # Registries of individual components (e.g. one per AM attempt)
         # attached for discovery/export alongside the global registry.
         self.registries: dict[str, MetricsRegistry] = {}
         # Per-process events are high volume; off by default (counters
         # are always maintained).
         self.verbose_sim = verbose_sim
+        self._dropped_synced = (0, 0)
         if env is not None:
             self.install(env)
 
@@ -68,6 +88,10 @@ class Telemetry:
         self.tracer.env = env
         env.telemetry = self
         if self.enabled:
+            # The hook fires for every process the kernel ever spawns;
+            # bind its counter once instead of a registry lookup each.
+            self._proc_counter = self.metrics.counter(
+                "sim.processes_started")
             env.add_process_hook(self._on_process_created)
 
     def attach_registry(self, name: str,
@@ -78,9 +102,61 @@ class Telemetry:
     def _on_process_created(self, process) -> None:
         # sim.core scheduling hook: cheap accounting for every process
         # the kernel spawns; full events only when explicitly enabled.
-        self.metrics.counter("sim.processes_started").inc()
+        self._proc_counter.inc()
         if self.verbose_sim:
             self.event("sim.process_started", name=process.name)
+
+    def _on_ring_overflow(self, which: str, capacity: int) -> None:
+        # Lossy-mode ring overflow (edge-triggered once per episode):
+        # account the loss and put a control event on the record so it
+        # is never silent. Control events use the ring's reserve slots,
+        # so this cannot recurse.
+        self._sync_dropped()
+        self.log.emit(
+            "telemetry.backpressure", self.now, _control=True,
+            ring=which, capacity=capacity, policy=self.spanstore.overflow,
+            dropped_spans=self.spanstore.dropped_spans,
+            dropped_events=self.spanstore.dropped_events,
+        )
+
+    def _sync_dropped(self) -> None:
+        spans, events = self.spanstore.dropped_spans, \
+            self.spanstore.dropped_events
+        seen_spans, seen_events = self._dropped_synced
+        if spans > seen_spans:
+            self.metrics.counter("telemetry.dropped_spans").inc(
+                spans - seen_spans)
+        if events > seen_events:
+            self.metrics.counter("telemetry.dropped_events").inc(
+                events - seen_events)
+        self._dropped_synced = (spans, events)
+
+    # -- lifecycle ------------------------------------------------------
+    def flush(self) -> int:
+        """Drain the ring buffers to partitioned segments."""
+        written = self.spanstore.flush()
+        self._sync_dropped()
+        return written
+
+    def close(self) -> None:
+        """Flush and seal the store (manifest marked closed)."""
+        self.spanstore.close()
+        self._sync_dropped()
+
+    def persist_store(self, target_dir: str) -> str:
+        """Land the full partitioned store — segments, manifest and
+        per-DAG rollups — in ``target_dir``. Spans still open (e.g. the
+        session span) are included so the store is as lossless as the
+        JSONL export."""
+        for span in self.tracer.open_spans():
+            self.spanstore.add_span(span)
+        for dag_id in self.rollups.dag_ids():
+            roll = self.rollups.get(dag_id)
+            if roll is not None and roll.closed:
+                self.spanstore.write_rollup(dag_id,
+                                            self.rollups.payload(dag_id))
+        self._sync_dropped()
+        return self.spanstore.persist(target_dir)
 
     # -- emission -------------------------------------------------------
     @property
@@ -91,18 +167,39 @@ class Telemetry:
               **attrs) -> Optional[TelemetryEvent]:
         if not self.enabled:
             return None
-        return self.log.emit(kind, self.now if ts is None else ts, **attrs)
+        if ts is None:
+            env = self.env
+            ts = env.now if env is not None else 0.0
+        event = self.log.emit(kind, ts, **attrs)
+        self.rollups.on_event(kind, ts, attrs)
+        return event
 
     def span(self, kind: str, name: str, parent=None,
              ts: Optional[float] = None, **attrs) -> Optional[Span]:
         if not self.enabled:
             return None
-        return self.tracer.start(kind, name, parent=parent,
-                                 ts=self.now if ts is None else ts, **attrs)
+        if ts is None:
+            env = self.env
+            ts = env.now if env is not None else 0.0
+        return self.tracer._start(kind, name, parent, ts, attrs)
 
     def finish(self, span: Optional[Span], ts: Optional[float] = None,
                **attrs) -> Optional[Span]:
         if not self.enabled or span is None:
             return None
-        return self.tracer.finish(span, ts=self.now if ts is None else ts,
-                                  **attrs)
+        if span.end is not None:
+            if attrs:
+                span.attrs.update(attrs)
+            return span
+        if ts is None:
+            env = self.env
+            ts = env.now if env is not None else 0.0
+        # Close inline (the facade's tracer is always sink-backed):
+        # stamp, hand the span to the store, fold the rollups.
+        span.end = ts
+        if attrs:
+            span.attrs.update(attrs)
+        self.tracer._by_id.pop(span.span_id, None)
+        self.spanstore.add_span(span)
+        self.rollups.on_span_closed(span)
+        return span

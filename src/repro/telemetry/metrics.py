@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Iterator, MutableMapping, Optional
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "MetricsView"]
+           "MetricsView", "Snapshot"]
 
 
 def _norm(value: float):
@@ -29,20 +29,50 @@ def _norm(value: float):
 
 
 class Counter:
-    """A monotonic accumulator (resettable only by direct assignment)."""
+    """A monotonic accumulator (resettable only by direct assignment).
 
-    __slots__ = ("name", "value")
+    Registry-owned counters participate in dirty-key tracking: any
+    mutation appends the counter to the registry's modification log
+    (at most once per snapshot window), which is what makes
+    :meth:`MetricsRegistry.delta_sparse` O(changed keys).
+    """
 
-    def __init__(self, name: str, value: float = 0.0):
+    __slots__ = ("name", "_value", "_reg", "_idx", "_log_pos")
+
+    def __init__(self, name: str, value: float = 0.0,
+                 _registry: Optional["MetricsRegistry"] = None,
+                 _idx: int = 0):
         self.name = name
-        self.value = value
+        self._value = value
+        self._reg = _registry
+        self._idx = _idx
+        self._log_pos = -1
+
+    def _mark(self) -> None:
+        reg = self._reg
+        # Re-log only when no entry of ours is visible to the most
+        # recent snapshot: one log append per counter per window.
+        if reg is not None and self._log_pos < reg._max_base_pos:
+            self._log_pos = len(reg._mod_log)
+            reg._mod_log.append(self)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @value.setter
+    def value(self, value: float) -> None:
+        self._value = value
+        self._mark()
 
     def inc(self, delta: float = 1.0) -> float:
-        self.value += delta
-        return self.value
+        value = self._value + delta
+        self._value = value
+        self._mark()
+        return value
 
     def __repr__(self) -> str:
-        return f"<Counter {self.name}={_norm(self.value)}>"
+        return f"<Counter {self.name}={_norm(self._value)}>"
 
 
 class Gauge:
@@ -100,18 +130,40 @@ class Histogram:
         return f"<Histogram {self.name} n={self.count} mean={self.mean:.3f}>"
 
 
+class Snapshot(dict):
+    """Counter values at snapshot time — a plain dict byte-for-byte —
+    plus the registry's modification-log position, which lets
+    :meth:`MetricsRegistry.delta_sparse` visit only counters that
+    changed since, instead of diffing the full registry."""
+
+    __slots__ = ("log_pos",)
+
+
 class MetricsRegistry:
     def __init__(self):
         self.counters: dict[str, Counter] = {}
         self.gauges: dict[str, Gauge] = {}
         self.histograms: dict[str, Histogram] = {}
+        # Dirty-key tracking: counters append themselves here on first
+        # mutation after each snapshot; snapshots record their position.
+        self._mod_log: list[Counter] = []
+        self._max_base_pos = 0
+        self._unscoped: list[str] = []   # un-namespaced counter names
 
     # -- instrument access (create on demand) ---------------------------
     def counter(self, name: str) -> Counter:
         counter = self.counters.get(name)
         if counter is None:
-            counter = self.counters[name] = Counter(name)
+            counter = self.counters[name] = Counter(
+                name, _registry=self, _idx=len(self.counters))
+            if "." not in name:
+                self._unscoped.append(name)
         return counter
+
+    def unscoped_names(self) -> list[str]:
+        """Un-namespaced counter names in creation order (the legacy
+        DAGStatus metric surface)."""
+        return self._unscoped
 
     def gauge(self, name: str) -> Gauge:
         gauge = self.gauges.get(name)
@@ -126,15 +178,40 @@ class MetricsRegistry:
         return histogram
 
     # -- scoping --------------------------------------------------------
-    def snapshot(self) -> dict[str, float]:
-        """Raw counter values, for later :meth:`delta` scoping."""
-        return {name: c.value for name, c in self.counters.items()}
+    def snapshot(self) -> Snapshot:
+        """Raw counter values, for later :meth:`delta` /
+        :meth:`delta_sparse` scoping. Byte-identical to the historical
+        plain dict; additionally carries the dirty-log position."""
+        snap = Snapshot(
+            (name, c._value) for name, c in self.counters.items())
+        snap.log_pos = len(self._mod_log)
+        if snap.log_pos > self._max_base_pos:
+            self._max_base_pos = snap.log_pos
+        return snap
 
     def delta(self, base: dict[str, float]) -> dict:
         """Per-counter growth since ``base`` (missing keys count as 0)."""
         return {
             name: _norm(c.value - base.get(name, 0.0))
             for name, c in self.counters.items()
+        }
+
+    def delta_sparse(self, base: dict[str, float]) -> dict:
+        """Growth since ``base`` visiting only counters that changed —
+        O(changed keys), not O(registry). Keys appear in counter
+        creation order (same relative order as :meth:`delta`); counters
+        untouched since the snapshot are simply absent. Falls back to
+        the full :meth:`delta` for plain-dict bases."""
+        pos = getattr(base, "log_pos", None)
+        if pos is None:
+            return self.delta(base)
+        changed: dict[str, Counter] = {}
+        for c in self._mod_log[pos:]:
+            if c.name not in changed and self.counters.get(c.name) is c:
+                changed[c.name] = c
+        return {
+            c.name: _norm(c._value - base.get(c.name, 0.0))
+            for c in sorted(changed.values(), key=lambda c: c._idx)
         }
 
     def as_dict(self) -> dict:

@@ -265,7 +265,10 @@ class DAGAppMaster:
                 yield from committer.finalize()
 
         finish = self.env.now
-        delta = self.registry.delta(base_counters)
+        # O(changed): only counters dirtied during this DAG are
+        # visited; the un-namespaced template restores the zeros the
+        # legacy full-registry diff carried.
+        delta = self.registry.delta_sparse(base_counters)
         status = DAGStatus(
             name=dag.name,
             state=self._dag_state,
@@ -275,7 +278,8 @@ class DAGAppMaster:
             metrics={
                 # Un-namespaced keys are the legacy session metrics;
                 # scheduler.*/task.* surface via the entries below.
-                **{k: v for k, v in delta.items() if "." not in k},
+                **{k: delta.get(k, 0)
+                   for k in self.registry.unscoped_names()},
                 "containers_launched":
                     delta.get("scheduler.containers_launched", 0),
                 "container_reuses": delta.get("scheduler.reuse_hits", 0),

@@ -82,12 +82,14 @@ def test_full_mode_enforces_absolute_criteria():
     assert CRITERIA["wide_shuffle.dispatched_ratio"] >= 5.0
     assert CRITERIA["wide_shuffle_buffered.wall_speedup"] >= 1.5
     assert CRITERIA["sched_heavy.wall_speedup"] >= 1.5
+    assert CRITERIA["telemetry_overhead.wall_speedup"] >= 0.95
     results = {
         "mode": "full",
         "scenarios": {
             "wide_shuffle": {"ratios": {"dispatched_ratio": 4.0}},
             "wide_shuffle_buffered": {"ratios": {"wall_speedup": 2.0}},
             "sched_heavy": {"ratios": {"wall_speedup": 3.0}},
+            "telemetry_overhead": {"ratios": {"wall_speedup": 0.99}},
         },
     }
     committed = {"full": results}

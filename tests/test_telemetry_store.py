@@ -1,0 +1,439 @@
+"""The partitioned on-disk span store (telemetry system of record).
+
+Three layers of coverage:
+
+* **Store mechanics** — spool runs vs live JSONL segments, manifest
+  wildcards and persist-time compaction, overflow policies (lossless
+  ``block`` vs lossy ``drop`` + the schema-checked backpressure
+  event), reopening a persisted directory, ``discard()``.
+* **Equivalence on the figure benchmarks** — with the tee enabled the
+  legacy in-memory timeline is retained alongside the bounded store,
+  so every figure workload asserts that the partitioned store (and a
+  persisted+reopened copy of it) yields the exact same timeline,
+  summaries and critical paths the in-memory store would have.
+* **Incremental rollups (Hypothesis)** — random span trees closed in
+  random order must produce rollup summaries and critical paths
+  identical to post-hoc scans over the store.
+"""
+
+import importlib
+import json
+import os
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry import (
+    MetricsRegistry,
+    Telemetry,
+    critical_path,
+    dag_summary,
+    summarize_session,
+)
+from repro.telemetry.check import check_backpressure_event, check_store
+from repro.telemetry.events import EventLog, TelemetryEvent
+from repro.telemetry.spans import Span, Tracer
+from repro.telemetry.store import (
+    SpanStore,
+    event_record,
+    read_manifest,
+    span_record,
+)
+from repro.telemetry.timeline import TimelineStore
+
+BENCH_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "benchmarks")
+
+
+# ----------------------------------------------------------- builders
+def mk_span(span_id, kind="attempt", dag="dag#1", end_offset=1.0,
+            **attrs):
+    return Span(span_id, kind, f"s{span_id}", float(span_id),
+                float(span_id) + end_offset, None,
+                {"dag": dag, **attrs})
+
+
+def mk_event(seq, kind="am.task", dag="dag#1", **attrs):
+    return TelemetryEvent(ts=float(seq), kind=kind,
+                          attrs={"dag": dag, **attrs}, seq=seq)
+
+
+def fill(store, n_spans=10, n_events=10):
+    for i in range(n_spans):
+        store.add_span(mk_span(i + 1, kind="attempt" if i % 2 else
+                               "vertex", dag=f"dag#{i % 2}"))
+    for i in range(n_events):
+        store.add_event(mk_event(i, kind="am.task" if i % 2 else
+                                 "shuffle.fetch", dag=f"dag#{i % 2}"))
+
+
+def normalize(records):
+    """Canonical JSON form: tuples->lists, key order fixed — the exact
+    bytes a JSONL segment would hold."""
+    return json.dumps(list(records), sort_keys=True)
+
+
+# ==================================================== spool mechanics
+def test_spool_flush_writes_runs_with_wildcard_manifest():
+    store = SpanStore(ring_spans=4, ring_events=4)
+    fill(store, 10, 10)
+    seg_dir = os.path.join(store.spool_dir, "segments")
+    files = sorted(os.listdir(seg_dir))
+    assert files and all(f.endswith(".pkl") for f in files)
+    # Spool runs are unpartitioned: wildcard manifest entries that
+    # readers never prune on.
+    assert {e["kind"] for e in store._manifest_entries} == {"*"}
+    assert store.span_count == 10 and store.event_count == 10
+    # Filters still apply record-by-record across runs + ring.
+    recs = store.iter_span_records(kind="vertex", attrs={"dag": "dag#0"})
+    assert [r["span_id"] for r in recs] == [1, 3, 5, 7, 9]
+    seqs = [r["seq"] for r in store.iter_event_records(prefix="am.")]
+    assert seqs == [1, 3, 5, 7, 9]
+    windows = list(store.iter_event_records(since=3.0, until=6.0))
+    assert [r["seq"] for r in windows] == [3, 4, 5, 6]
+    store.discard()
+
+
+def test_event_merge_is_globally_seq_ordered_across_runs_and_ring():
+    store = SpanStore(ring_events=4, ring_spans=4)
+    for i in range(11):  # 2 full runs on disk + 3 in the ring
+        store.add_event(mk_event(i))
+    assert store.flushes >= 2 and len(store._event_ring) > 0
+    assert [r["seq"] for r in store.iter_event_records()] == list(range(11))
+    store.discard()
+
+
+def test_persist_compacts_runs_into_partitioned_jsonl(tmp_path):
+    store = SpanStore(ring_spans=4, ring_events=4)
+    fill(store, 10, 10)
+    before_spans = normalize(store.iter_span_records())
+    before_events = normalize(store.iter_event_records())
+    target = str(tmp_path / "store")
+    store.persist(target)
+    files = sorted(os.listdir(os.path.join(target, "segments")))
+    assert files and all(f.endswith(".jsonl") for f in files)
+    manifest = read_manifest(target)
+    assert manifest["closed"] is True
+    entries = manifest["segments"]
+    assert entries and all(e["kind"] != "*" for e in entries)
+    # Each compacted segment holds exactly one partition, and its
+    # footer agrees with the manifest entry.
+    for entry in entries:
+        path = os.path.join(target, "segments", entry["file"])
+        with open(path) as fh:
+            lines = [json.loads(line) for line in fh]
+        footer = lines[-1]
+        assert footer["type"] == "footer"
+        for key in ("file", "rtype", "kind", "dag", "count",
+                    "min_ts", "max_ts", "min_key", "max_key"):
+            assert footer[key] == entry[key]
+        body = lines[:-1]
+        assert len(body) == entry["count"]
+        for rec in body:
+            if entry["rtype"] == "span":
+                assert rec["kind"] == entry["kind"]
+            else:
+                assert rec["kind"].split(".", 1)[0] == entry["kind"]
+            assert rec["attrs"].get("dag", "-") == entry["dag"]
+    assert check_store(target) == []
+    # The records read back identically after compaction.
+    assert normalize(store.iter_span_records()) == before_spans
+    assert normalize(store.iter_event_records()) == before_events
+
+
+def test_live_store_is_jsonl_and_tails_manifest_each_flush(tmp_path):
+    target = str(tmp_path / "live")
+    store = SpanStore(dir=target, ring_spans=4, ring_events=4)
+    fill(store, 9, 9)
+    # Mid-run (not closed): a reader can already discover every
+    # flushed segment through the on-disk manifest.
+    manifest = read_manifest(target)
+    assert manifest["closed"] is False
+    assert manifest["segments"]
+    assert all(e["file"].endswith(".jsonl") and e["kind"] != "*"
+               for e in manifest["segments"])
+    store.close()
+    assert read_manifest(target)["closed"] is True
+    assert check_store(target) == []
+
+
+def test_reopen_persisted_store_appends_without_collisions(tmp_path):
+    target = str(tmp_path / "store")
+    first = SpanStore(ring_spans=4, ring_events=4)
+    fill(first, 6, 6)
+    first.persist(target)
+
+    again = SpanStore(dir=target)
+    assert again.span_count == 6 and again.event_count == 6
+    for i in range(6, 9):
+        again.add_span(mk_span(i + 1))
+        again.add_event(mk_event(i))
+    again.close()
+    assert again.span_count == 9 and again.event_count == 9
+    names = [e["file"] for e in read_manifest(target)["segments"]]
+    assert len(names) == len(set(names))
+    assert check_store(target) == []
+    assert [r["seq"] for r in again.iter_event_records()] == list(range(9))
+
+
+def test_discard_drops_the_private_spool():
+    store = SpanStore(ring_spans=2)
+    for i in range(4):
+        store.add_span(mk_span(i + 1))
+    spool = store.spool_dir
+    assert spool is not None and os.path.isdir(spool)
+    store.discard()
+    assert store.spool_dir is None
+    assert not os.path.isdir(spool)
+
+
+# ==================================================== overflow policy
+def test_block_policy_is_lossless_and_bounded():
+    store = SpanStore(ring_spans=8, ring_events=8, overflow="block")
+    fill(store, 100, 100)
+    assert store.dropped_spans == 0 and store.dropped_events == 0
+    assert store.flushes > 1
+    assert store.peak_resident <= 16
+    assert store.span_count == 100 and store.event_count == 100
+    assert len(list(store.iter_event_records())) == 100
+    store.discard()
+
+
+def test_drop_policy_counts_drops_and_emits_backpressure_once():
+    tel = Telemetry(store_opts={"ring_spans": 8, "ring_events": 16,
+                                "overflow": "drop"})
+    for i in range(20):
+        tel.event("am.tick", ts=float(i), i=i)
+    store = tel.spanstore
+    assert store.dropped_events > 0
+    # Edge-triggered: one schema-checked control event per episode,
+    # recorded via the ring's control reserve (never silent).
+    bp = tel.store.events(kind="telemetry.backpressure")
+    assert len(bp) == 1
+    assert check_backpressure_event(bp[0].attrs) == []
+    assert bp[0].attrs["ring"] == "event"
+    assert bp[0].attrs["policy"] == "drop"
+    # A flush ends the episode and syncs the loss counters.
+    tel.flush()
+    assert tel.metrics.counter("telemetry.dropped_events").value == \
+        store.dropped_events
+    for i in range(17):
+        tel.event("am.tick", ts=float(20 + i), i=20 + i)
+    assert len(tel.store.events(kind="telemetry.backpressure")) == 2
+    store.discard()
+
+
+def test_drop_policy_evicts_oldest_span_records():
+    store = SpanStore(ring_spans=4, overflow="drop")
+    for i in range(10):
+        store.add_span(mk_span(i + 1))
+    assert store.dropped_spans == 6
+    survivors = [r["span_id"] for r in store.iter_span_records()]
+    assert survivors == [7, 8, 9, 10]
+
+
+# ============================================= metrics snapshot delta
+def test_delta_sparse_matches_full_delta_and_is_sparse():
+    reg = MetricsRegistry()
+    for name in ("a", "b", "c.scoped"):
+        reg.counter(name).inc(5)
+    snap = reg.snapshot()
+    reg.counter("b").inc(2)
+    reg.counter("fresh").inc()
+    sparse = reg.delta_sparse(snap)
+    full = reg.delta(snap)
+    assert sparse == {"b": 2, "fresh": 1}
+    assert {k: v for k, v in full.items() if v} == sparse
+    # Plain-dict bases (the historical snapshot shape) still work.
+    assert reg.delta_sparse(dict(snap)) == full
+    # Snapshots stay byte-identical to the historical plain dict.
+    assert json.dumps(reg.snapshot()) == json.dumps(
+        {"a": 5.0, "b": 7.0, "c.scoped": 5.0, "fresh": 1.0})
+
+
+# ============================== figure-benchmark timeline equivalence
+FIG_MODULES = [
+    "bench_fig08_hive_tpcds",
+    "bench_fig09_hive_tpch",
+    "bench_fig10_pig_etl",
+    "bench_fig11_pig_kmeans",
+    "bench_fig12_spark_sharing",
+    "bench_fig13_spark_latency",
+]
+
+
+def legacy_timeline(tel):
+    """The in-memory store the tee retained: a sink-less tracer/log
+    holding every span and event, exactly as pre-store telemetry did."""
+    by_id = {}
+    # persist_store() hands still-open spans to the (teed) store, so
+    # after a persist they appear both in the tee and in the tracer's
+    # open set — same objects, keep one.
+    for span in list(tel.spanstore.tee_spans) + tel.tracer.open_spans():
+        by_id.setdefault(span.span_id, span)
+    tracer = Tracer()
+    tracer.spans = [by_id[span_id] for span_id in sorted(by_id)]
+    log = EventLog()
+    log._events = list(tel.spanstore.tee_events)
+    log._count = len(log._events)
+    return TimelineStore(log=log, tracer=tracer)
+
+
+def assert_store_equals_legacy(tel, store, legacy):
+    """timeline + summaries + critical paths, store vs in-memory."""
+    assert normalize([span_record(s) for s in store.spans()]) == \
+        normalize([span_record(s) for s in legacy.spans()])
+    assert normalize([event_record(e) for e in store.events()]) == \
+        normalize([event_record(e) for e in legacy.events()])
+    dag_ids = legacy.dag_ids()
+    assert store.dag_ids() == dag_ids
+    for dag_id in dag_ids:
+        assert dag_summary(store, dag_id) == dag_summary(legacy, dag_id)
+        assert critical_path(store, dag_id) == \
+            critical_path(legacy, dag_id)
+        if tel is not None:
+            # Incremental rollups agree with both.
+            assert tel.rollups.summary(dag_id) == \
+                dag_summary(legacy, dag_id)
+            assert tel.rollups.critical(dag_id) == \
+                critical_path(legacy, dag_id)
+
+
+@pytest.mark.parametrize("mod_name", FIG_MODULES)
+def test_figure_benchmark_store_equivalence(mod_name, monkeypatch,
+                                            tmp_path):
+    """ISSUE acceptance: on every figure benchmark the partitioned
+    store round-trips to the exact same timeline, summaries and
+    critical paths as the legacy in-memory store (retained via the
+    tee), live and after persist+reopen."""
+    monkeypatch.setenv("REPRO_TELEMETRY_TEE", "1")
+    monkeypatch.syspath_prepend(BENCH_DIR)
+    mod = importlib.import_module(mod_name)
+    sims = []
+    real_finish = mod.finish_bench
+
+    def capture(sim, *args, **kwargs):
+        if sim not in sims:
+            sims.append(sim)
+        return real_finish(sim, *args, **kwargs)
+
+    monkeypatch.setattr(mod, "finish_bench", capture)
+    mod.run_workload()
+    assert sims, f"{mod_name}.run_workload() never called finish_bench"
+
+    for sim in sims:
+        tel = sim.telemetry
+        assert tel.spanstore.tee, "tee must be on for ground truth"
+        assert tel.spanstore.dropped_spans == 0
+        assert tel.spanstore.dropped_events == 0
+        legacy = legacy_timeline(tel)
+        assert_store_equals_legacy(tel, tel.store, legacy)
+
+    # Persist + reopen the last simulation's store: the directory is
+    # pure partitioned JSONL and queries still match the in-memory
+    # timeline (open spans are persisted too).
+    tel = sims[-1].telemetry
+    target = str(tmp_path / "store")
+    tel.persist_store(target)
+    assert check_store(target) == []
+    legacy = legacy_timeline(tel)
+    reopened = TimelineStore.open(target)
+    assert_store_equals_legacy(None, reopened, legacy)
+
+
+# ==================== incremental rollups == post-hoc scans (Hypothesis)
+DAG_ID = "dag#r"
+
+_ts = st.integers(0, 400).map(lambda v: v / 8.0)
+_outcome = st.sampled_from(["succeeded", "failed", "killed"])
+_movement = st.sampled_from(["SCATTER_GATHER", "BROADCAST", "ONE_TO_ONE"])
+
+
+@st.composite
+def dag_scenarios(draw):
+    n_vertices = draw(st.integers(1, 4))
+    vertices = [f"v{i}" for i in range(n_vertices)]
+    edges = []
+    for j in range(1, n_vertices):
+        for i in range(j):
+            if draw(st.booleans()):
+                edges.append((vertices[i], vertices[j], draw(_movement)))
+    attempts = []
+    for vertex in vertices:
+        for index in range(draw(st.integers(1, 3))):
+            for retry in range(draw(st.integers(1, 2))):
+                queued = draw(_ts)
+                launched = queued + draw(_ts)
+                end = launched + draw(_ts)
+                attempts.append({
+                    "attempt": f"{DAG_ID}/{vertex}/t{index}_a{retry}",
+                    "vertex": vertex, "index": index,
+                    "queued": queued, "launched": launched, "end": end,
+                    "outcome": draw(_outcome),
+                })
+    # Attempts close in random order: incremental folding must not
+    # depend on close order matching creation order.
+    close_order = draw(st.permutations(range(len(attempts))))
+    extra = draw(st.lists(st.tuples(
+        st.sampled_from(["am.speculation", "am.reexecution",
+                         "shuffle.fetch_retry", "chaos.fault"]),
+        _ts), max_size=6))
+    return {"vertices": vertices, "edges": edges, "attempts": attempts,
+            "close_order": close_order, "extra": extra}
+
+
+def replay(scenario, ring=4):
+    """Feed a random scenario through the facade (incremental rollups
+    + tiny rings, so reads cross multiple spool runs)."""
+    tel = Telemetry(store_opts={"ring_spans": ring, "ring_events": ring})
+    attempts = scenario["attempts"]
+    span_end = max((a["end"] for a in attempts), default=0.0)
+    dag_start, dag_end = 0.0, span_end + 1.0
+    tel.event("am.dag_submitted", ts=dag_start, dag=DAG_ID,
+              edges=scenario["edges"])
+    dag_span = tel.span("dag", DAG_ID, ts=dag_start, dag=DAG_ID,
+                        dag_name="random-dag")
+    vertex_spans = [
+        tel.span("vertex", v, ts=dag_start, dag=DAG_ID, vertex=v)
+        for v in scenario["vertices"]
+    ]
+    open_attempts = [
+        tel.span("attempt", a["attempt"], ts=a["queued"], dag=DAG_ID,
+                 vertex=a["vertex"], index=a["index"],
+                 attempt=a["attempt"], launched=a["launched"])
+        for a in attempts
+    ]
+    for i in scenario["close_order"]:
+        tel.finish(open_attempts[i], ts=attempts[i]["end"],
+                   outcome=attempts[i]["outcome"])
+    for kind, ts in scenario["extra"]:
+        if kind == "chaos.fault":
+            tel.event(kind, ts=ts, node="node0001")  # cluster-scoped
+        else:
+            tel.event(kind, ts=ts, dag=DAG_ID)
+    tel.event("am.dag_finished", ts=dag_end, dag=DAG_ID,
+              state="SUCCEEDED")
+    for vspan in vertex_spans:
+        tel.finish(vspan, ts=dag_end)
+    tel.finish(dag_span, ts=dag_end)  # folds the critical path
+    return tel
+
+
+@settings(max_examples=60, database=None, deadline=None)
+@given(dag_scenarios())
+def test_incremental_rollups_equal_post_hoc_scans(scenario):
+    tel = replay(scenario)
+    try:
+        scan = dag_summary(tel.store, DAG_ID)
+        roll = tel.rollups.summary(DAG_ID)
+        assert roll == scan
+        assert tel.rollups.critical(DAG_ID) == \
+            critical_path(tel.store, DAG_ID)
+        assert [roll] == tel.rollups.summaries()
+        assert [scan] == summarize_session(tel.store)
+        # The telescoping invariant holds on the incremental path too.
+        report = tel.rollups.critical(DAG_ID)
+        assert report.total == pytest.approx(report.wall_clock)
+    finally:
+        tel.spanstore.discard()
