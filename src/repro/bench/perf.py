@@ -33,6 +33,12 @@ Scenarios:
 * ``chaos`` — a shuffle job with a node crash mid-run: the recovery
   and re-routing hot path, and a determinism check that the optimized
   event plane reproduces the legacy makespan under faults.
+* ``cluster_day`` — a cut of the sharded-control-plane soak
+  (``repro.bench.cluster_day``): many session clients x 2 AM shards
+  over three capacity queues with chaos on, including a journal-aimed
+  mid-soak AM-shard crash. Asserts the terminal digest (every DAG's
+  state and timings) is byte-identical between the legacy and
+  optimized planes, through crash and recovery.
 * ``sched_heavy`` — the YARN allocation hot path: a 500-node
   multi-queue cluster driven directly through the RM with >20k
   locality-tagged container asks (no DAGs). Optimized mode enables the
@@ -449,6 +455,45 @@ def telemetry_overhead(config: TezConfig, smoke: bool) -> dict:
     return result
 
 
+def cluster_day(config: TezConfig, smoke: bool) -> dict:
+    """The sharded-control-plane soak as a perf scenario: many
+    session clients x 2 AM shards, a DAG stream over three capacity
+    queues, chaos on (slow node, node crash, journal-aimed AM-shard
+    crash). Sizes are a cut of ``repro.bench.cluster_day``'s defaults
+    — the point here is the legacy-vs-optimized comparison on the
+    multi-AM control plane, not raw scale; the full-scale soak is its
+    own CLI. The terminal digest (sha256 over every DAG's session,
+    name, state and timings) must be byte-identical across the two
+    legs: the event-plane and scheduler overhauls must not move a
+    single DAG's start or finish, even through a mid-soak AM crash
+    and recovery."""
+    from .cluster_day import run_cluster_day
+
+    optimized = config.composite_dme   # legacy-config call = legacy leg
+    sizes = (dict(sessions=4, dags=12, tasks_per_dag=30) if smoke
+             else dict(sessions=12, dags=72, tasks_per_dag=150))
+    summary = run_cluster_day(
+        **sizes, config=config, scheduler_optimized=optimized,
+        verbose=False,
+    )
+    assert summary["ok"], (
+        f"cluster_day soak failed with {summary['violations']} "
+        f"violation(s)"
+    )
+    assert summary["journaled_at_crash"] > 0
+    assert summary["reexecutions"] == 0
+    return {
+        "wall_s": summary["wall_s"],
+        "dispatched": summary["dispatched"],
+        "heap_pushes": summary["heap_pushes"],
+        "sim_makespan": summary["sim_makespan"],
+        "digest": summary["digest"],
+        "am_attempts": summary["am_attempts"],
+        "journaled_at_crash": summary["journaled_at_crash"],
+        "tasks_recovered": summary["tasks_recovered"],
+    }
+
+
 SCENARIOS = {
     "wide_shuffle": lambda cfg, smoke: wide_shuffle(cfg, smoke),
     "wide_shuffle_buffered":
@@ -457,6 +502,7 @@ SCENARIOS = {
     "chaos": chaos,
     "sched_heavy": sched_heavy,
     "telemetry_overhead": telemetry_overhead,
+    "cluster_day": cluster_day,
 }
 
 
@@ -502,6 +548,13 @@ def run_suite(smoke: bool = False, profile: bool = False,
                 f"{name}: allocation log diverged — the scheduler "
                 f"overhaul must place every container on the same node "
                 f"at the same time as the legacy scheduler"
+            )
+        if base.get("digest") != opt.get("digest"):
+            raise AssertionError(
+                f"{name}: terminal digest diverged — legacy "
+                f"{base.get('digest')} vs optimized "
+                f"{opt.get('digest')}: the optimized planes must "
+                f"reproduce every DAG's terminal state and timings"
             )
         ratios = {
             "wall_speedup": round(

@@ -90,9 +90,16 @@ class ChaosController:
 
         self.env.process(heal_process(), name=name)
 
-    def _live_am(self):
+    def _live_am(self, shard: Optional[int] = None):
         """The attached client's current AM, when it is still
-        registered and carries a control-plane dispatcher."""
+        registered and carries a control-plane dispatcher. With
+        ``shard`` the lookup routes through the client's shard
+        coordinator to that specific control-plane shard."""
+        if shard is not None:
+            coordinator = getattr(self.client, "coordinator", None)
+            if coordinator is None:
+                return None
+            return coordinator.live_am(shard)
         am = getattr(self.client, "last_am", None)
         if (
             am is not None
@@ -106,7 +113,7 @@ class ChaosController:
     def _am_node_ids(self) -> set[str]:
         return {
             ctx.am_container.node_id
-            for ctx in self.rm._contexts.values()
+            for ctx in self.rm.am_service.live_contexts()
         }
 
     def _pick_node(self) -> Optional[str]:
@@ -274,21 +281,67 @@ class ChaosController:
         direct-mutation path is gone — crashing an AM the framework
         does not know about produced un-journaled, un-audited deaths
         the recovery log could not explain."""
-        am = self._live_am()
+        if fault.when_journaled is not None:
+            self.env.process(
+                self._journal_aimed_am_crash(fault),
+                name=f"chaos-am-crash-watch:{fault.shard}",
+            )
+            return
+        am = self._live_am(shard=fault.shard)
         if am is None:
+            where = (
+                f"shard {fault.shard}" if fault.shard is not None
+                else "a live dispatcher-carrying AM"
+            )
             raise RuntimeError(
-                "am_crash fault needs a live dispatcher-carrying AM: "
-                "attach a TezClient (sim.chaos(plan, client=...)) and "
-                "inject while an application is running"
+                f"am_crash fault needs {where}: attach a TezClient "
+                "(sim.chaos(plan, client=...)) and inject while an "
+                "application is running"
             )
         node_id = am.ctx.am_container.node_id
+        tag = f"am@{node_id}" if fault.shard is None \
+            else f"am[shard{fault.shard}]@{node_id}"
         if fault.after_events is not None:
             am.dispatcher.halt_after(
                 am.dispatcher.dispatched + fault.after_events, am.crash
             )
-            self._record(
-                fault, f"am@{node_id}+{fault.after_events}ev"
-            )
+            self._record(fault, f"{tag}+{fault.after_events}ev")
             return
         am.dispatcher.dispatch(FaultEvent(kind="am_crash"))
-        self._record(fault, f"am@{node_id}")
+        self._record(fault, tag)
+
+    def _journal_aimed_am_crash(self, fault: Fault) -> Generator:
+        """Self-aiming AM crash: poll the target shard's recovery
+        journal and fire once it records ``when_journaled`` task
+        successes for a DAG still in flight. The poll grid is fixed,
+        so the firing instant is a pure function of simulation state —
+        seeded reruns crash at the same boundary, and the crash always
+        lands mid-DAG with real journaled work to recover."""
+        coordinator = getattr(self.client, "coordinator", None)
+        if fault.shard is not None and coordinator is not None:
+            journal = coordinator.shard(fault.shard).journal
+        else:
+            journal = getattr(self.client, "recovery", None)
+        if journal is None:
+            raise RuntimeError(
+                "when_journaled am_crash needs a journal-carrying "
+                "TezClient (sim.chaos(plan, client=...))"
+            )
+        while True:
+            armed = any(
+                not state.finished
+                and len(state.successes) >= fault.when_journaled
+                for state in journal.fold_state().values()
+            )
+            if armed:
+                am = self._live_am(shard=fault.shard)
+                if am is not None:
+                    node_id = am.ctx.am_container.node_id
+                    am.dispatcher.dispatch(FaultEvent(kind="am_crash"))
+                    self._record(
+                        fault,
+                        f"am[shard{fault.shard}]@{node_id}"
+                        f"+{fault.when_journaled}journaled",
+                    )
+                    return
+            yield self.env.timeout(0.25)

@@ -48,12 +48,22 @@ class Fault:
     wait: float = 15.0                  # SHUFFLE_OUTPUT_LOSS: hunt window
     after_events: Optional[int] = None  # AM_CRASH: crash after this many
                                         # further dispatched control events
+    shard: Optional[int] = None         # AM_CRASH: target control-plane
+                                        # shard (None: the latest live AM)
+    when_journaled: Optional[int] = None  # AM_CRASH: wait until the
+                                        # target shard's journal holds
+                                        # this many task successes for a
+                                        # still-unfinished DAG
 
     def __post_init__(self):
         if self.at < 0:
             raise ValueError("fault time must be >= 0")
         if self.after_events is not None and self.after_events < 0:
             raise ValueError("after_events must be >= 0")
+        if self.when_journaled is not None and self.when_journaled < 1:
+            raise ValueError("when_journaled must be >= 1")
+        if self.shard is not None and self.shard < 0:
+            raise ValueError("shard must be >= 0")
         if self.duration is not None and self.duration <= 0:
             raise ValueError("fault duration must be positive")
         if self.kind == FaultKind.SLOW_NODE and not 0 < self.speed <= 1.0:
@@ -131,12 +141,23 @@ class FaultPlan:
                               pattern=pattern, count=count, wait=wait))
 
     def crash_am(self, at: float,
-                 after_events: Optional[int] = None) -> "FaultPlan":
+                 after_events: Optional[int] = None,
+                 shard: Optional[int] = None,
+                 when_journaled: Optional[int] = None) -> "FaultPlan":
         """Kill the ApplicationMaster's container (recovery drill).
 
         With ``after_events`` the crash is armed on the live AM's
         dispatcher instead of fired immediately: the AM dies at the
         exact event boundary ``after_events`` dispatched control events
-        past the injection time (the crash-anywhere primitive)."""
+        past the injection time (the crash-anywhere primitive). With
+        ``shard`` the fault targets that control-plane shard's AM of a
+        sharded client (resolved via the client's coordinator) instead
+        of the most recently created one. With ``when_journaled`` the
+        controller watches the target shard's recovery journal from
+        ``at`` onwards and fires once it holds at least that many task
+        successes for a DAG that has not finished — a self-aiming
+        mid-DAG crash that is never vacuous, whatever the cluster's
+        backlog looks like."""
         return self.add(Fault(FaultKind.AM_CRASH, at,
-                              after_events=after_events))
+                              after_events=after_events, shard=shard,
+                              when_journaled=when_journaled))

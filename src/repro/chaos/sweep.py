@@ -223,6 +223,98 @@ def _execute(records: int, reducers: int,
     )
 
 
+def _execute_sharded(records: int, reducers: int, shards: int,
+                     shard: int, crash_after: Optional[int] = None,
+                     checkpoint_interval: Optional[int] = None
+                     ) -> RunOutcome:
+    """One run of a sharded session: ``shards`` session AMs, one DAG
+    per shard (round-robin assignment), with the crash armed on the
+    *selected* shard's first AM attempt only. The outcome folds every
+    DAG's terminal status/rows (so any cross-shard fallout shows up in
+    the baseline comparison) while the no-re-execution evidence —
+    runs, journaled-at-crash snapshot — is scoped to the crashed
+    shard alone."""
+    sim = _make_sim()
+    sim.hdfs.write(IN_PATH, [(i, i) for i in range(records)],
+                   record_bytes=16)
+    config = TezConfig()
+    if checkpoint_interval is not None:
+        config = TezConfig(journal_checkpoint_interval=checkpoint_interval)
+    client = sim.tez_client("sweep", config=config, session=True,
+                            am_max_attempts=3, shards=shards)
+    dag_names = [f"{DAG_NAME}{i}" for i in range(shards)]
+
+    ams: list = []
+    crash: dict = {}
+    inner_make_am = client._make_am
+
+    def make_am(ctx):
+        am = inner_make_am(ctx)
+        ams.append(am)
+        if (
+            crash_after is not None
+            and ctx.attempt == 1
+            and am.shard_id == shard
+        ):
+            journal = client.coordinator.shard(shard).journal
+
+            def boom():
+                crash["time"] = sim.env.now
+                crash["journaled"] = frozenset(
+                    journal.successes(dag_names[shard])
+                )
+                am.crash()
+
+            am.dispatcher.halt_after(crash_after, boom)
+        return am
+
+    client._make_am = make_am
+
+    runs_by_shard: list[list] = [[] for _ in range(shards)]
+    handles = []
+    for i in range(shards):
+        dag = _build_dag(runs_by_shard[i], reducers,
+                         out_path=f"{OUT_PATH}{i}", name=dag_names[i])
+        handles.append(client.submit_dag(dag))
+    for handle in handles:
+        sim.env.run(until=handle.completion)
+    wall = sim.env.now
+    client.stop()
+    sim.env.run(until=sim.env.now + 60)
+
+    all_rows = []
+    for i in range(shards):
+        rows: tuple = ()
+        if sim.hdfs.exists(f"{OUT_PATH}{i}"):
+            rows = tuple(sorted(sim.hdfs.read_file(f"{OUT_PATH}{i}")))
+        all_rows.append(rows)
+
+    def counter(name: str) -> int:
+        return int(sum(am.registry.counter(name).value for am in ams))
+
+    shard_ams = [am for am in ams if am.shard_id == shard]
+    journals = [r.journal for r in client.coordinator.records()]
+    return RunOutcome(
+        status_name="/".join(h.status.state.name for h in handles),
+        succeeded=all(h.status.succeeded for h in handles),
+        rows=tuple(all_rows),
+        dispatched=(
+            shard_ams[0].dispatcher.dispatched if shard_ams else 0
+        ),
+        wall=wall,
+        runs=runs_by_shard[shard],
+        crashed="time" in crash,
+        crash_time=crash.get("time", -1.0),
+        journaled_at_crash=crash.get("journaled", frozenset()),
+        am_attempts=len(ams),
+        events_replayed=counter("recovery.events_replayed"),
+        tasks_recovered=counter("recovery.tasks_recovered"),
+        entries_dropped=counter("recovery.entries_dropped"),
+        fenced_appends=sum(j.fenced_appends for j in journals),
+        checkpoints=sum(j.checkpoints for j in journals),
+    )
+
+
 # ------------------------------------------------------------ sweep mode
 @dataclass
 class CrashPoint:
@@ -258,23 +350,41 @@ def _check_point(base: RunOutcome, res: RunOutcome, k: int) -> CrashPoint:
 
 def run_sweep(records: int = 120, reducers: int = 2, stride: int = 1,
               checkpoint_interval: Optional[int] = None,
-              out: Optional[str] = None, verbose: bool = True) -> dict:
+              out: Optional[str] = None, verbose: bool = True,
+              shards: int = 1, shard: int = 0) -> dict:
     """Crash after every ``stride``-th dispatched event; compare every
     recovered run against the no-crash baseline. Returns the summary
-    dict (``summary["ok"]`` is the verdict)."""
+    dict (``summary["ok"]`` is the verdict).
+
+    With ``shards > 1`` the workload is a sharded session (one DAG per
+    shard) and the crash targets shard ``shard``'s AM at every one of
+    *its* event boundaries — every other shard must sail through
+    untouched, and the crashed shard must recover without re-executing
+    journaled work."""
 
     def say(msg: str) -> None:
         if verbose:
             print(msg)
 
-    base = _execute(records, reducers,
-                    checkpoint_interval=checkpoint_interval)
+    if not 0 <= shard < shards:
+        raise ValueError(f"shard {shard} out of range for {shards} shards")
+
+    def execute(crash_after: Optional[int] = None) -> RunOutcome:
+        if shards == 1:
+            return _execute(records, reducers, crash_after=crash_after,
+                            checkpoint_interval=checkpoint_interval)
+        return _execute_sharded(records, reducers, shards, shard,
+                                crash_after=crash_after,
+                                checkpoint_interval=checkpoint_interval)
+
+    base = execute()
     if not base.succeeded:
         raise RuntimeError(
             f"baseline run did not succeed: {base.status_name}"
         )
     total = base.dispatched
-    say(f"baseline: {base.status_name}, {len(base.rows)} rows, "
+    where = f" (shard {shard}/{shards})" if shards > 1 else ""
+    say(f"baseline{where}: {base.status_name}, "
         f"{total} control events, wall {base.wall:.2f}s")
 
     # One record per crash point streams straight to the artifact as
@@ -289,8 +399,7 @@ def run_sweep(records: int = 120, reducers: int = 2, stride: int = 1,
             "fenced_appends": 0}
     wall_delta = Histogram("recovery.wall_delta")
     for k in range(1, total + 1, max(1, stride)):
-        res = _execute(records, reducers, crash_after=k,
-                       checkpoint_interval=checkpoint_interval)
+        res = execute(crash_after=k)
         point = _check_point(base, res, k)
         if stream is not None:
             stream.write(_point_record(n_points, point))
@@ -317,6 +426,8 @@ def run_sweep(records: int = 120, reducers: int = 2, stride: int = 1,
         "ok": not failures,
         "baseline_events": total,
         "baseline_wall": base.wall,
+        "shards": shards,
+        "shard": shard,
         "points": n_points,
         "crashed_points": n_crashed,
         "violations": len(failures),
@@ -474,12 +585,26 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="test every stride-th crash point")
     parser.add_argument("--checkpoint-interval", type=int, default=None,
                         help="journal checkpoint interval override")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="run a sharded session with this many "
+                             "control-plane shards (one DAG per shard)")
+    parser.add_argument("--shard", type=int, default=None,
+                        help="crash this shard's AM at every event "
+                             "boundary (implies --shards 2 when "
+                             "--shards is not given)")
     parser.add_argument("--out", default=None,
                         help="write recovery telemetry JSONL here")
     parser.add_argument("--soak", action="store_true",
                         help="run the chaos soak instead of the sweep")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
+
+    shards = args.shards
+    shard = args.shard
+    if shards is None:
+        shards = 2 if shard is not None else 1
+    if shard is None:
+        shard = 0
 
     if args.soak:
         summary = run_soak(records=args.records, reducers=args.reducers,
@@ -488,7 +613,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         summary = run_sweep(records=args.records, reducers=args.reducers,
                             stride=args.stride,
                             checkpoint_interval=args.checkpoint_interval,
-                            out=args.out, verbose=not args.quiet)
+                            out=args.out, verbose=not args.quiet,
+                            shards=shards, shard=shard)
     return 0 if summary["ok"] else 1
 
 

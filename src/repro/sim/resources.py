@@ -96,10 +96,22 @@ class Store:
     def __len__(self) -> int:
         return len(self.items)
 
+    def _pop_getter(self) -> Optional[Event]:
+        """Oldest *live* pending getter. Cancelled getters (a consumer
+        that died while blocked on ``get()`` — e.g. a crashed session
+        AM's mailbox read) are skipped lazily, mirroring the kernel
+        heap's lazy deletion: without this, a put would hand the item
+        to the dead consumer and the next live one would starve."""
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter._cancelled:
+                return getter
+        return None
+
     def put(self, item: Any) -> Event:
         ev = Event(self.env)
-        if self._getters:
-            getter = self._getters.popleft()
+        getter = self._pop_getter()
+        if getter is not None:
             getter.succeed(item)
             ev.succeed()
         elif self.capacity is None or len(self.items) < self.capacity:
@@ -113,13 +125,13 @@ class Store:
         """Fire-and-forget put for unbounded stores: no ack event, so
         callers that ignore the ack (mailbox fan-in) skip one kernel
         heap entry per item."""
-        if self.capacity is not None and len(self.items) >= self.capacity \
-                and not self._getters:
+        getter = self._pop_getter()
+        if getter is not None:
+            getter.succeed(item)
+            return
+        if self.capacity is not None and len(self.items) >= self.capacity:
             raise RuntimeError("put_nowait on a full bounded store")
-        if self._getters:
-            self._getters.popleft().succeed(item)
-        else:
-            self.items.append(item)
+        self.items.append(item)
 
     def offer(self, item: Any) -> Optional[Event]:
         """Like :meth:`put_nowait`, but when a getter is waiting it is
@@ -127,8 +139,8 @@ class Store:
         delivering a batch can wake every consumer with a single heap
         entry via ``env.schedule_many``. Returns None when the item was
         buffered (nobody waiting)."""
-        if self._getters:
-            getter = self._getters.popleft()
+        getter = self._pop_getter()
+        if getter is not None:
             getter._stage(item)
             return getter
         if self.capacity is not None and len(self.items) >= self.capacity:

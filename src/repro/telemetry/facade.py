@@ -23,8 +23,9 @@ is unchanged and reads back through the segments transparently.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Optional
+from typing import Callable, Optional
 
 from .events import EventLog, TelemetryEvent
 from .metrics import MetricsRegistry
@@ -74,6 +75,9 @@ class Telemetry:
         # Registries of individual components (e.g. one per AM attempt)
         # attached for discovery/export alongside the global registry.
         self.registries: dict[str, MetricsRegistry] = {}
+        # Control-plane shard-summary suppliers (one per sharded
+        # client); sampled at persist time into <store>/shards.json.
+        self._shard_suppliers: list[tuple[str, Callable]] = []
         # Per-process events are high volume; off by default (counters
         # are always maintained).
         self.verbose_sim = verbose_sim
@@ -98,6 +102,16 @@ class Telemetry:
                         registry: MetricsRegistry) -> MetricsRegistry:
         self.registries[name] = registry
         return registry
+
+    def attach_shards(self, name: str,
+                      supplier: Callable[[], list]) -> None:
+        """Register a control-plane shard-summary supplier (a sharded
+        :class:`~repro.tez.client.TezClient` registers its
+        coordinator's ``shard_summaries``). Sampled once, at
+        :meth:`persist_store` time, into ``shards.json`` at the store
+        root — next to the manifest, *not* under ``rollups/`` (rollup
+        payloads are indexed by ``dag_id``)."""
+        self._shard_suppliers.append((name, supplier))
 
     def _on_process_created(self, process) -> None:
         # sim.core scheduling hook: cheap accounting for every process
@@ -156,7 +170,25 @@ class Telemetry:
                 self.spanstore.write_rollup(dag_id,
                                             self.rollups.payload(dag_id))
         self._sync_dropped()
-        return self.spanstore.persist(target_dir)
+        path = self.spanstore.persist(target_dir)
+        self._write_shards(path)
+        return path
+
+    def _write_shards(self, store_dir: str) -> None:
+        """Sample every registered shard supplier into
+        ``<store_dir>/shards.json`` (skipped when none registered, so
+        unsharded stores are unchanged on disk)."""
+        shards = []
+        for name, supplier in self._shard_suppliers:
+            for summary in supplier():
+                shards.append({"client": name, **summary})
+        if not shards:
+            return
+        out = os.path.join(store_dir, "shards.json")
+        tmp = out + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump({"shards": shards}, fh, indent=1, sort_keys=True)
+        os.replace(tmp, out)
 
     # -- emission -------------------------------------------------------
     @property

@@ -43,7 +43,7 @@ from .analysis import (CriticalPathReport, CriticalPathSegment,
 from .store import ROLLUP_DIR, SpanStore, read_manifest
 from .timeline import TimelineStore
 
-__all__ = ["main"]
+__all__ = ["main", "load_rollups", "load_shards", "shard_line"]
 
 
 # ---------------------------------------------------------------------------
@@ -64,6 +64,30 @@ def load_rollups(store_dir: str) -> list[dict]:
     # start time, which the payloads carry.
     payloads.sort(key=lambda p: (p.get("start") or 0.0, p["dag_id"]))
     return payloads
+
+
+def load_shards(store_dir: str) -> list[dict]:
+    """Control-plane shard summaries sampled at persist time
+    (``shards.json`` at the store root); [] for unsharded stores."""
+    path = os.path.join(store_dir, "shards.json")
+    if not os.path.isfile(path):
+        return []
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh).get("shards", [])
+
+
+def shard_line(payload: dict) -> str:
+    return (
+        f"shard {payload['client']}/{payload['shard']}: "
+        f"dags={payload['dags']} "
+        f"am_attempts={payload['am_attempts']} "
+        f"journal={payload['journal_records']} "
+        f"fenced_appends={payload['fenced_appends']} "
+        f"checkpoints={payload['checkpoints']} "
+        f"replayed={payload['events_replayed']} "
+        f"recovered={payload['tasks_recovered']} "
+        f"dropped={payload['entries_dropped']}"
+    )
 
 
 def summary_from_payload(payload: dict) -> DagSummary:
@@ -221,6 +245,9 @@ def main(argv=None) -> int:
             for dag_id in dag_ids:
                 print(dag_summary(store, dag_id,
                                   with_critical_path=False).line())
+        if not args.dag:
+            for payload in load_shards(args.store):
+                print(shard_line(payload))
         return 0
 
     if args.critical is not None:

@@ -69,6 +69,7 @@ class DAGAppMaster:
         services: FrameworkServices,
         config: Optional[TezConfig] = None,
         recovery: Optional[RecoveryJournal] = None,
+        shard_id: int = 0,
     ):
         self.ctx = ctx
         self.env: Environment = ctx.env
@@ -76,6 +77,10 @@ class DAGAppMaster:
         self.spec = services.spec
         self.config = config or TezConfig()
         self.recovery = recovery
+        # Which control-plane shard this AM is (0 for unsharded
+        # clients). Folded into dag ids of shards > 0 so concurrent
+        # shards never collide on telemetry/journal keys.
+        self.shard_id = shard_id
         # Attempt-epoch fencing: constructing a new AM claims the
         # journal, rejecting appends from any pre-crash zombie writer.
         self.epoch = recovery.open_epoch() if recovery is not None else 0
@@ -119,6 +124,7 @@ class DAGAppMaster:
         self.speculation = SpeculationMonitor(self)
         self.deadlock = DeadlockMonitor(self)
         self.machines.bind("vertex", self.lifecycle)
+        self.machines.bind("vertex_init", self.lifecycle)
         self.machines.bind("task", self.runner)
         self.machines.bind("attempt", self.runner)
         self.machines.bind("dag", self)
@@ -175,7 +181,14 @@ class DAGAppMaster:
         dag.verify()
         start = self.env.now
         self._dag = dag
-        self._dag_id = f"{dag.name}#{next(self._dag_seq)}"
+        seq = next(self._dag_seq)
+        # Shard 0 keeps the historical id shape (`name#seq`) so
+        # single-shard runs are byte-identical; higher shards qualify
+        # the suffix. `dag_name_of` splits at "#" either way.
+        self._dag_id = (
+            f"{dag.name}#{seq}" if self.shard_id == 0
+            else f"{dag.name}#{self.shard_id}.{seq}"
+        )
         self._dag_state = DAGState.NEW
         self._dag_machine = self.machines.dag(self, self._dag_id)
         self._dag_machine.fire("run")

@@ -205,7 +205,10 @@ class RecoveryJournal:
             return ("transition", epoch, dag_name_of(vr.dag_id), machine,
                     (vr.name, subject.index),
                     event.trigger, event.to_state, None)
-        if machine == "vertex":
+        if machine in ("vertex", "vertex_init"):
+            # vertex_init records are replay history only: fold()
+            # ignores the kind (a restarted AM re-enters init from
+            # PENDING on a fresh VertexRuntime).
             return ("transition", epoch, dag_name_of(subject.dag_id),
                     machine, subject.name,
                     event.trigger, event.to_state, None)

@@ -29,7 +29,13 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from .dispatcher import Dispatcher, StateTransitionEvent
-from .structures import AttemptState, DAGState, TaskState, VertexState
+from .structures import (
+    AttemptState,
+    DAGState,
+    TaskState,
+    VertexInitState,
+    VertexState,
+)
 
 __all__ = [
     "InvalidStateTransition",
@@ -41,6 +47,7 @@ __all__ = [
     "HANDLER_SPECS",
     "DAG_TABLE",
     "VERTEX_TABLE",
+    "VERTEX_INIT_TABLE",
     "TASK_TABLE",
     "ATTEMPT_TABLE",
     "ATTEMPT_CONSEQUENCES",
@@ -282,6 +289,42 @@ def _vertex_table() -> TransitionTable:
     return t.invalid_rest()
 
 
+def _vertex_init_table() -> TransitionTable:
+    """Sub-machine of the vertex INITIALIZING phase.
+
+    ``initialize_vertex`` used to be one long opaque coroutine; each of
+    its phases is now an audited transition. The yielding work (waiting
+    on initializer processes, on a one-to-one source's resolution)
+    happens *between* transitions in the lifecycle coroutine; the
+    synchronous finalizers (task creation, manager bring-up) are
+    machine actions, so replay after an AM crash re-enters exactly the
+    same arc from PENDING.
+    """
+    S = VertexInitState
+    t = TransitionTable(
+        "vertex_init", S, S.PENDING,
+        terminals={S.DONE, S.ABORTED},
+    )
+    t.move("begin", S.PENDING, S.SOURCES_INITIALIZING)
+    t.move("sources_ready", S.SOURCES_INITIALIZING,
+           S.RESOLVING_PARALLELISM)
+    t.move("parallelism_resolved", S.RESOLVING_PARALLELISM,
+           S.TASKS_CREATED, action="act_init_tasks_created")
+    t.move("manager_ready", S.TASKS_CREATED, S.MANAGER_READY,
+           action="act_init_manager_ready")
+    t.move("finish", S.MANAGER_READY, S.DONE)
+    # Any phase can abort: initializer failure, unresolvable
+    # parallelism, split-count mismatch, or a DAG kill racing init.
+    t.move("abort", (S.PENDING, S.SOURCES_INITIALIZING,
+                     S.RESOLVING_PARALLELISM, S.TASKS_CREATED,
+                     S.MANAGER_READY), S.ABORTED)
+    # A second failure while unwinding (or a kill landing after the
+    # vertex finished initializing) is a legal no-op.
+    t.ignore(S.DONE, "abort")
+    t.ignore(S.ABORTED, "abort")
+    return t.invalid_rest()
+
+
 def _dag_table() -> TransitionTable:
     S = DAGState
     t = TransitionTable(
@@ -304,11 +347,13 @@ def _dag_table() -> TransitionTable:
 ATTEMPT_TABLE = _attempt_table()
 TASK_TABLE = _task_table()
 VERTEX_TABLE = _vertex_table()
+VERTEX_INIT_TABLE = _vertex_init_table()
 DAG_TABLE = _dag_table()
 
 TABLES = {
     "dag": DAG_TABLE,
     "vertex": VERTEX_TABLE,
+    "vertex_init": VERTEX_INIT_TABLE,
     "task": TASK_TABLE,
     "attempt": ATTEMPT_TABLE,
 }
@@ -334,6 +379,7 @@ ATTEMPT_CONSEQUENCES = {
 HANDLER_SPECS = {
     "dag": ("repro.tez.am.dag_app_master", "DAGAppMaster"),
     "vertex": ("repro.tez.am.vertex_lifecycle", "VertexLifecycle"),
+    "vertex_init": ("repro.tez.am.vertex_lifecycle", "VertexLifecycle"),
     "task": ("repro.tez.am.attempt_runner", "AttemptRunner"),
     "attempt": ("repro.tez.am.attempt_runner", "AttemptRunner"),
 }
@@ -368,6 +414,16 @@ class MachineSet:
                 "vertex", vr, f"{vr.dag_id}/{vr.name}"
             )
             vr._sm = machine
+        return machine
+
+    def vertex_init(self, vr) -> StateMachine:
+        machine = getattr(vr, "_init_sm", None)
+        if machine is None:
+            machine = self._machine(
+                "vertex_init", vr, f"{vr.dag_id}/{vr.name}/init",
+                attr="init_state",
+            )
+            vr._init_sm = machine
         return machine
 
     def task(self, task) -> StateMachine:

@@ -20,6 +20,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = [
     "DAGState",
     "VertexState",
+    "VertexInitState",
     "TaskState",
     "AttemptState",
     "TaskAttempt",
@@ -46,6 +47,27 @@ class VertexState(Enum):
     SUCCEEDED = "SUCCEEDED"
     FAILED = "FAILED"
     KILLED = "KILLED"
+
+
+class VertexInitState(Enum):
+    """Sub-machine of the vertex INITIALIZING phase.
+
+    The vertex-level table collapses the whole initialization into one
+    NEW -> INITIALIZING -> INITED arc; this machine makes the phases
+    inside INITIALIZING explicit (and auditable): root-input
+    initializers, parallelism resolution (including one-to-one
+    inheritance), task creation, and vertex-manager bring-up. Shard
+    replay re-enters vertex init from PENDING on every AM attempt — a
+    fresh :class:`VertexRuntime` means a fresh init machine.
+    """
+
+    PENDING = "PENDING"
+    SOURCES_INITIALIZING = "SOURCES_INITIALIZING"
+    RESOLVING_PARALLELISM = "RESOLVING_PARALLELISM"
+    TASKS_CREATED = "TASKS_CREATED"
+    MANAGER_READY = "MANAGER_READY"
+    DONE = "DONE"
+    ABORTED = "ABORTED"
 
 
 class TaskState(Enum):
@@ -157,6 +179,7 @@ class VertexRuntime:
         self.depth = depth
         self.dag_id = dag_id   # session-unique DAG execution id
         self.state = VertexState.NEW
+        self.init_state = VertexInitState.PENDING
         self.parallelism = vertex.parallelism
         self.tasks: list[Task] = []
         self.scheduled: set[int] = set()

@@ -81,6 +81,9 @@ class VertexLifecycle:
         try:
             yield from self.initialize_vertex(vr)
         except (DagAbort, Exception) as exc:
+            init = am.machines.vertex_init(vr)
+            if not init.terminal:
+                init.fire("abort")
             if not vr.inited_event.triggered:
                 vr.inited_event.succeed()
             am._fail_dag(
@@ -94,12 +97,32 @@ class VertexLifecycle:
             am._check_dag_done()
 
     def initialize_vertex(self, vr: VertexRuntime) -> Generator:
+        """Drive a vertex through its INITIALIZING phase.
+
+        The phases are explicit ``vertex_init`` machine transitions
+        (audited like every other table); the coroutine only carries
+        the *waiting* — initializer processes and one-to-one source
+        resolution — between the fires. The synchronous finalizers
+        (task creation, manager bring-up) are machine actions.
+        """
         am = self.am
         am.machines.vertex(vr).fire("init")
-        vertex = vr.vertex
-        # Run root-input initializers (possibly waiting on events from
-        # other vertices, e.g. dynamic partition pruning).
-        for input_name, source in vertex.data_sources.items():
+        init = am.machines.vertex_init(vr)
+        init.fire("begin")
+        yield from self._run_root_initializers(vr)
+        init.fire("sources_ready")
+        yield from self._resolve_parallelism(vr)
+        init.fire("parallelism_resolved")   # -> act_init_tasks_created
+        init.fire("manager_ready")          # -> act_init_manager_ready
+        init.fire("finish")
+        am.machines.vertex(vr).fire("inited")
+
+    def _run_root_initializers(self, vr: VertexRuntime) -> Generator:
+        """SOURCES_INITIALIZING: run root-input initializers (possibly
+        waiting on events from other vertices, e.g. dynamic partition
+        pruning)."""
+        am = self.am
+        for input_name, source in vr.vertex.data_sources.items():
             if source.initializer_descriptor is None:
                 vr.initialized_inputs.add(input_name)
                 continue
@@ -120,6 +143,11 @@ class VertexLifecycle:
             # Runtime split calculation overrides any preset
             # parallelism: the initializer has the accurate picture.
             vr.parallelism = max(1, len(splits))
+
+    def _resolve_parallelism(self, vr: VertexRuntime) -> Generator:
+        """RESOLVING_PARALLELISM: one-to-one inheritance, then verify
+        the split counts agree with the final parallelism."""
+        am = self.am
         if vr.parallelism == -1:
             # Inherit from a one-to-one source; wait for its own
             # (possibly initializer-driven) resolution first.
@@ -142,24 +170,33 @@ class VertexLifecycle:
                     f"{len(split_list)} splits but parallelism is "
                     f"{vr.parallelism}"
                 )
+
+    def act_init_tasks_created(self, vr: VertexRuntime) -> None:
+        """Action for vertex_init ``parallelism_resolved``
+        (RESOLVING_PARALLELISM -> TASKS_CREATED): create the task set,
+        apply locality hints, and sync edge-manager parallelism."""
         vr.create_tasks()
         # Root-split locality hints.
         for input_name, split_list in vr.root_splits.items():
             for task, split in zip(vr.tasks, split_list):
                 task.location_nodes = tuple(split.preferred_nodes)
-        if vertex.location_hints:
-            for task, hint in zip(vr.tasks, vertex.location_hints):
+        if vr.vertex.location_hints:
+            for task, hint in zip(vr.tasks, vr.vertex.location_hints):
                 task.location_nodes = tuple(hint.nodes)
                 task.location_racks = tuple(hint.racks)
         for edge in vr.in_edges + vr.out_edges:
             self.sync_edge_parallelism(edge)
+
+    def act_init_manager_ready(self, vr: VertexRuntime) -> None:
+        """Action for vertex_init ``manager_ready`` (TASKS_CREATED ->
+        MANAGER_READY): bring up the VertexManager plugin and feed it
+        the initialized root inputs."""
         vr.manager = self.create_vertex_manager(vr)
         vr.manager.initialize()
         for input_name in vr.root_splits:
             vr.manager.on_root_input_initialized(
                 input_name, len(vr.root_splits[input_name])
             )
-        am.machines.vertex(vr).fire("inited")
 
     def create_vertex_manager(self, vr: VertexRuntime):
         vmctx = _VMContext(self.am, vr)

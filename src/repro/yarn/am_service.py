@@ -1,0 +1,153 @@
+"""The RM's multi-AM service: per-application AM bookkeeping.
+
+Real YARN keeps one ``ApplicationMasterService`` serving every live
+AM over per-application channels (register / heartbeat-allocate /
+unregister, each fenced by the app-attempt token). The historical
+simulated RM grew the same facts as seven parallel dicts keyed by
+``ApplicationId``; with the control plane sharded into many concurrent
+AMs that bookkeeping becomes a first-class object: one
+:class:`AppRecord` per application, owned by the :class:`AMService`,
+carrying the factory/retry policy, the live :class:`AMContext`, the AM
+container id, and the registration/heartbeat liveness trail.
+
+The service is deliberately passive — the RM still drives the attempt
+lifecycle and the scheduler tick; this layer only owns the records and
+answers queries (``live_applications``, ``application_info``) so
+arbitration, chaos routing and tests can see every AM the RM serves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from .records import ApplicationId, ContainerId, Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .resource_manager import AMContext, AppHandle, ResourceManager
+
+__all__ = ["AppRecord", "AMService"]
+
+
+@dataclass
+class AppRecord:
+    """Everything the RM knows about one application's AM."""
+
+    handle: "AppHandle"
+    am_factory: Callable
+    queue: str
+    user: str
+    am_resource: Resource
+    max_attempts: int
+    attempts: int = 0
+    am_container_id: Optional[ContainerId] = None
+    context: Optional["AMContext"] = None
+    # Liveness trail of the *current* attempt (reset on restart).
+    registered_at: Optional[float] = None
+    last_heartbeat: Optional[float] = None
+    heartbeats: int = 0
+    finished: bool = False
+    _extra: dict = field(default_factory=dict)
+
+
+class AMService:
+    """Registry of every application the RM is serving."""
+
+    def __init__(self, rm: "ResourceManager"):
+        self.rm = rm
+        self.records: dict[ApplicationId, AppRecord] = {}
+
+    # ------------------------------------------------------ lifecycle
+    def admit(self, app_id: ApplicationId, handle: "AppHandle",
+              am_factory: Callable, queue: str, user: str,
+              am_resource: Resource, max_attempts: int) -> AppRecord:
+        record = AppRecord(
+            handle=handle, am_factory=am_factory, queue=queue,
+            user=user, am_resource=am_resource,
+            max_attempts=max_attempts,
+        )
+        self.records[app_id] = record
+        return record
+
+    def record(self, app_id: ApplicationId) -> AppRecord:
+        return self.records[app_id]
+
+    def get(self, app_id: ApplicationId) -> Optional[AppRecord]:
+        return self.records.get(app_id)
+
+    def begin_attempt(self, app_id: ApplicationId) -> int:
+        """A new AM attempt is launching: bump the count and clear the
+        previous attempt's channel + liveness state."""
+        record = self.records[app_id]
+        record.attempts += 1
+        record.context = None
+        record.am_container_id = None
+        record.registered_at = None
+        record.last_heartbeat = None
+        return record.attempts
+
+    def attempt_launched(self, app_id: ApplicationId,
+                         ctx: "AMContext",
+                         am_container_id: ContainerId) -> None:
+        record = self.records[app_id]
+        record.context = ctx
+        record.am_container_id = am_container_id
+
+    def finish(self, app_id: ApplicationId) -> None:
+        """The application reached a terminal status (unregistered or
+        AM retries exhausted); the record stays for post-mortem reads."""
+        record = self.records.get(app_id)
+        if record is not None:
+            record.finished = True
+            record.context = None
+
+    # ------------------------------------------------ the AM protocol
+    def on_register(self, ctx: "AMContext") -> None:
+        record = self.records.get(ctx.app_id)
+        if record is not None and record.context is ctx:
+            record.registered_at = self.rm.env.now
+            record.last_heartbeat = self.rm.env.now
+
+    def on_heartbeat(self, ctx: "AMContext") -> None:
+        record = self.records.get(ctx.app_id)
+        if record is not None and record.context is ctx:
+            record.last_heartbeat = self.rm.env.now
+            record.heartbeats += 1
+
+    # ------------------------------------------------------ queries
+    def live_contexts(self) -> list["AMContext"]:
+        return [
+            r.context for r in self.records.values()
+            if r.context is not None and not r.context.unregistered
+        ]
+
+    def live_applications(self) -> list[ApplicationId]:
+        return [
+            app_id for app_id, r in self.records.items()
+            if r.context is not None and not r.context.unregistered
+        ]
+
+    def application_info(self, app_id: ApplicationId) -> Optional[dict]:
+        record = self.records.get(app_id)
+        if record is None:
+            return None
+        ctx = record.context
+        return {
+            "app_id": str(app_id),
+            "name": record.handle.name,
+            "queue": record.queue,
+            "user": record.user,
+            "attempts": record.attempts,
+            "max_attempts": record.max_attempts,
+            "live": ctx is not None and not ctx.unregistered,
+            "finished": record.finished,
+            "am_node": (
+                ctx.am_container.node_id if ctx is not None else None
+            ),
+            "registered_at": record.registered_at,
+            "last_heartbeat": record.last_heartbeat,
+            "heartbeats": record.heartbeats,
+            "blacklist": (
+                sorted(ctx.app.blacklist) if ctx is not None else []
+            ),
+        }

@@ -16,6 +16,7 @@ from typing import Callable, Generator, Optional
 from ..cluster import Cluster, Node
 from ..sim import Environment, Store
 from ..telemetry import get_telemetry
+from .am_service import AMService
 from .container import Container
 from .node_manager import ContainerRunner, NodeManager
 from .records import (
@@ -33,7 +34,7 @@ from .records import (
 from .scheduler import CapacityScheduler, QueueConfig, SchedulerApp
 from .security import SecurityManager, Token
 
-__all__ = ["ResourceManager", "AMContext", "AppHandle"]
+__all__ = ["ResourceManager", "AMContext", "AppHandle", "AMService"]
 
 AM_PRIORITY = Priority(0)
 
@@ -83,6 +84,14 @@ class AMContext:
     def register(self) -> None:
         self.amrm_token = self.rm.security.issue("AMRM", str(self.app_id))
         self.nm_token = self.rm.security.issue("NM", str(self.app_id))
+        self.rm.am_service.on_register(self)
+
+    def heartbeat(self) -> None:
+        """AM liveness ping (the allocate-heartbeat of real YARN,
+        separated from the ask/grant plumbing which is event-driven
+        here). Recorded per application by the RM's AM service."""
+        self._check_registered()
+        self.rm.am_service.on_heartbeat(self)
 
     def unregister(self, final_status: FinalApplicationStatus,
                    diagnostics: str = "", result=None) -> None:
@@ -226,13 +235,9 @@ class ResourceManager:
             rack_locality_delay=rack_locality_delay,
             preemption_enabled=preemption_enabled,
         )
-        self._handles: dict[ApplicationId, AppHandle] = {}
-        self._contexts: dict[ApplicationId, AMContext] = {}
-        self._am_factories: dict[ApplicationId, Callable] = {}
-        self._attempts: dict[ApplicationId, int] = {}
-        self._max_attempts: dict[ApplicationId, int] = {}
-        self._am_resources: dict[ApplicationId, Resource] = {}
-        self._am_container_ids: dict[ApplicationId, ContainerId] = {}
+        # Per-application AM bookkeeping (factory, retry policy, live
+        # context, liveness trail) lives in one AppRecord per app.
+        self.am_service = AMService(self)
         self.scheduler.node_filter = self.node_schedulable
         for node in cluster.nodes.values():
             node.on_crash(self._on_node_crash)
@@ -289,11 +294,8 @@ class ResourceManager:
         """Submit an application; returns immediately with a handle."""
         app_id = ApplicationId.new()
         handle = AppHandle(self.env, app_id, name)
-        self._handles[app_id] = handle
-        self._am_factories[app_id] = am_factory
-        self._attempts[app_id] = 0
-        self._max_attempts[app_id] = max_attempts
-        self._am_resources[app_id] = am_resource
+        self.am_service.admit(app_id, handle, am_factory, queue, user,
+                              am_resource, max_attempts)
         app = SchedulerApp(app_id, queue, user)
         self.scheduler.add_app(app)
         self.env.process(self._start_attempt(app, handle),
@@ -302,20 +304,35 @@ class ResourceManager:
 
     def _start_attempt(self, app: SchedulerApp, handle: AppHandle) -> Generator:
         app_id = app.app_id
-        self._attempts[app_id] += 1
-        attempt = self._attempts[app_id]
-        # Ask for the AM container and wait for it.
+        record = self.am_service.record(app_id)
+        attempt = self.am_service.begin_attempt(app_id)
+        # Ask for the AM container and wait for it. The node under an
+        # allocated-but-unlaunched AM container can die (chaos) in the
+        # window between the scheduler's grant and this process
+        # resuming — the NM reaps the reservation, so launching would
+        # fail. Nobody else restarts the attempt at that point
+        # (``record.am_container_id`` is not set until launch), so the
+        # RM simply re-asks until it gets a grant on a live node.
         am_allocated = self.env.event()
         app.on_allocate = lambda c: (
             am_allocated.succeed(c) if not am_allocated.triggered else None
         )
-        app.add_ask(AM_PRIORITY, self._am_resources[app_id], [], [], True, 1)
+        app.add_ask(AM_PRIORITY, record.am_resource, [], [], True, 1)
         yield self.env.timeout(self.spec.am_launch_overhead / 2)
         container = yield am_allocated
-        self._am_container_ids[app_id] = container.container_id
+        while (container.state != ContainerState.NEW
+               or not self.cluster.nodes[container.node_id].alive):
+            am_allocated = self.env.event()
+            app.on_allocate = lambda c: (
+                am_allocated.succeed(c) if not am_allocated.triggered
+                else None
+            )
+            app.add_ask(AM_PRIORITY, record.am_resource, [], [], True, 1)
+            container = yield am_allocated
         ctx = AMContext(self, app, handle, container, attempt)
-        self._contexts[app_id] = ctx
-        factory = self._am_factories[app_id]
+        self.am_service.attempt_launched(app_id, ctx,
+                                         container.container_id)
+        factory = record.am_factory
 
         def am_runner(c: Container) -> Generator:
             yield from factory(ctx)
@@ -329,7 +346,8 @@ class ResourceManager:
     def _app_unregistered(self, ctx: AMContext,
                           final_status: FinalApplicationStatus,
                           diagnostics: str, result) -> None:
-        handle = self._handles[ctx.app_id]
+        record = self.am_service.record(ctx.app_id)
+        handle = record.handle
         handle.final_status = final_status
         handle.diagnostics = diagnostics
         handle.result = result
@@ -337,7 +355,7 @@ class ResourceManager:
         # Reap remaining task containers. The AM's own container is left
         # alone: its generator is the caller and will return naturally.
         app = ctx.app
-        am_cid = self._am_container_ids.get(ctx.app_id)
+        am_cid = record.am_container_id
         for cid in list(app.live_containers):
             if cid == am_cid:
                 continue
@@ -345,7 +363,7 @@ class ResourceManager:
                 if cid in nm.containers:
                     nm.stop_container(cid, ContainerExitStatus.ABORTED)
         self.scheduler.remove_app(ctx.app_id)
-        self._contexts.pop(ctx.app_id, None)
+        self.am_service.finish(ctx.app_id)
         if not handle.completion.triggered:
             handle.completion.succeed(final_status)
 
@@ -354,28 +372,30 @@ class ResourceManager:
                              container: Container) -> None:
         app_id = status.container_id.app_id
         self.scheduler.container_completed(app_id, status.container_id)
-        ctx = self._contexts.get(app_id)
+        record = self.am_service.get(app_id)
+        ctx = record.context if record is not None else None
         if ctx is None:
             return
-        if status.container_id == self._am_container_ids.get(app_id):
+        if status.container_id == record.am_container_id:
             self._am_exited(ctx, status)
         elif not ctx.unregistered:
             ctx.completed.put(status)
 
     def _am_exited(self, ctx: AMContext, status: ContainerStatus) -> None:
         app_id = ctx.app_id
-        handle = self._handles[app_id]
+        record = self.am_service.record(app_id)
+        handle = record.handle
         if ctx.unregistered or handle.completion.triggered:
             return
         # AM died without unregistering: retry or fail the application.
         ctx.unregistered = True  # stale context: stop event delivery
-        self._contexts.pop(app_id, None)
+        record.context = None
         app = ctx.app
         for cid in list(app.live_containers):
             for nm in self.node_managers.values():
                 if cid in nm.containers:
                     nm.stop_container(cid, ContainerExitStatus.ABORTED)
-        if self._attempts[app_id] < self._max_attempts[app_id]:
+        if record.attempts < record.max_attempts:
             new_app = SchedulerApp(app_id, app.queue, app.user)
             new_app._container_seq = app._container_seq  # keep ids unique
             self.scheduler.remove_app(app_id)
@@ -385,11 +405,12 @@ class ResourceManager:
         else:
             handle.final_status = FinalApplicationStatus.FAILED
             handle.diagnostics = (
-                f"AM failed {self._attempts[app_id]} times: "
+                f"AM failed {record.attempts} times: "
                 f"{status.diagnostics}"
             )
             handle.finish_time = self.env.now
             self.scheduler.remove_app(app_id)
+            self.am_service.finish(app_id)
             handle.completion.succeed(handle.final_status)
 
     # -- node liveness ------------------------------------------------------
@@ -436,7 +457,7 @@ class ResourceManager:
         for cid in list(nm.containers):
             nm.stop_container(cid, ContainerExitStatus.NODE_LOST)
         node = self.cluster.nodes[node_id]
-        for ctx in list(self._contexts.values()):
+        for ctx in self.am_service.live_contexts():
             for callback in ctx._node_loss_callbacks:
                 callback(node)
 

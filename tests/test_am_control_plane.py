@@ -490,7 +490,7 @@ def test_full_dag_span_state_equals_machine_state():
     assert handle.status.succeeded, handle.status.diagnostics
     assert mismatches == []
     machines = {m for m, _ in seen}
-    assert machines == {"dag", "vertex", "task", "attempt"}
+    assert machines == {"dag", "vertex", "vertex_init", "task", "attempt"}
     # Every task ran: schedule+launch+succeed per attempt at minimum.
     assert len(seen) > 20
     assert client.last_am.dispatcher.dispatched >= len(seen)
