@@ -7,9 +7,11 @@ Usage::
 
 Every scenario runs twice on identical workloads: once with every
 legacy flag (``composite_dme=False, coalesce_deliveries=False,
-indexed_scheduler=False`` — plus, in the scheduler scenario, the
+indexed_scheduler=False, attempt_fast_path=False,
+batch_attempt_exits=False`` — plus, in the scheduler scenario, the
 pre-overhaul scan-everything YARN scheduler and tick-every-heartbeat
-RM — the historical behaviour, kept as config flags exactly so it can
+RM, and in the diamond scenarios the plain binary-heap kernel — the
+historical behaviour, kept as config flags exactly so it can
 serve as this baseline) and once with the optimized defaults. The
 simulated makespan must be *identical* between the two runs — the
 overhauls change how the simulator executes, never what it computes —
@@ -29,7 +31,10 @@ Scenarios:
   snapshot fast path (O(partition range) instead of O(partitions) per
   consumer); the ">= 1.5x wall-clock" criterion is measured here.
 * ``diamond`` — a 10_000-task one-to-one diamond: kernel/container/
-  state-machine throughput, largely event-plane-neutral.
+  state-machine throughput, largely event-plane-neutral. Since PR 9
+  this is the attempt-fast-path + timer-wheel gate (>= 5x wall).
+* ``diamond_1k`` — the same diamond at 1_000 tasks in every mode: the
+  CI (perf-smoke) shape for the fast-path equality gates.
 * ``chaos`` — a shuffle job with a node crash mid-run: the recovery
   and re-routing hot path, and a determinism check that the optimized
   event plane reproduces the legacy makespan under faults.
@@ -110,6 +115,8 @@ CRITERIA = {
     "wide_shuffle.dispatched_ratio": 5.0,
     "wide_shuffle_buffered.wall_speedup": 1.5,
     "sched_heavy.wall_speedup": 1.5,
+    # PR 9: attempt fast path + timer wheel on raw task churn.
+    "diamond.wall_speedup": 5.0,
     # Always-on observability: the partitioned span store may cost at
     # most 5% wall vs telemetry=False on the buffered wide shuffle.
     "telemetry_overhead.wall_speedup": 0.95,
@@ -119,7 +126,8 @@ TOLERANCE = 0.20   # allowed ratio drop vs the committed reference
 
 def _legacy_config(**kwargs) -> TezConfig:
     return TezConfig(composite_dme=False, coalesce_deliveries=False,
-                     indexed_scheduler=False, **kwargs)
+                     indexed_scheduler=False, attempt_fast_path=False,
+                     batch_attempt_exits=False, **kwargs)
 
 
 def _sg_edge(src: Vertex, dst: Vertex) -> Edge:
@@ -153,6 +161,8 @@ def _timed_run(sim: SimCluster, dag: DAG, config: TezConfig,
         "wall_s": round(wall, 4),
         "dispatched": client.last_am.dispatcher.dispatched,
         "heap_pushes": sim.env.heap_pushes,
+        "timer_wheel_hits": sim.env.timer_wheel_hits,
+        "pool_reuse": sim.env.pool_reuse,
         "sim_makespan": status.elapsed,
     }
 
@@ -190,13 +200,21 @@ def wide_shuffle(config: TezConfig, smoke: bool,
     return _timed_run(sim, dag, config)
 
 
-def diamond(config: TezConfig, smoke: bool) -> dict:
+def diamond(config: TezConfig, smoke: bool,
+            parallelism: int = None) -> dict:
     """v1 -> (v2, v3) -> v4 with one-to-one edges: 4p tasks total.
     Event-plane-neutral; stresses the kernel, containers and state
-    machines (the __slots__ / lazy-cancel / reuse hot paths)."""
-    p = 100 if smoke else 2500
+    machines — since PR 9 the attempt fast path (inline IPO bodies,
+    callback event channel, batched exits, incremental VM scheduling)
+    and the timer-wheel kernel backend. The legacy leg runs the plain
+    binary heap (``attempt_fast_path`` selects the kernel backend, like
+    ``indexed_scheduler`` does for the RM overhauls in sched_heavy)."""
+    p = parallelism if parallelism is not None else (100 if smoke
+                                                    else 2500)
+    optimized = config.attempt_fast_path
     sim = SimCluster(num_nodes=20, nodes_per_rack=10,
-                     memory_per_node_mb=16 * 1024, cores_per_node=8)
+                     memory_per_node_mb=16 * 1024, cores_per_node=8,
+                     timer_wheel=optimized)
 
     def passthrough(targets):
         def fn(c, d, targets=targets):
@@ -499,6 +517,11 @@ SCENARIOS = {
     "wide_shuffle_buffered":
         lambda cfg, smoke: wide_shuffle(cfg, smoke, buffered=True),
     "diamond": diamond,
+    # CI-sized diamond (1k tasks regardless of --smoke): same workload
+    # and gate structure as `diamond`, small enough for the perf-smoke
+    # job to run the attempt-fast-path legs on every push.
+    "diamond_1k": lambda cfg, smoke: diamond(cfg, smoke,
+                                             parallelism=250),
     "chaos": chaos,
     "sched_heavy": sched_heavy,
     "telemetry_overhead": telemetry_overhead,
@@ -520,12 +543,13 @@ def run_suite(smoke: bool = False, profile: bool = False,
     results: dict = {"mode": mode, "scenarios": {}}
     if only:
         results["partial"] = True
+    profile_target = next(iter(selected)) if only else "wide_shuffle"
     for name, scenario in selected.items():
         print(f"[{mode}] {name}: baseline (legacy event plane) ...",
               flush=True)
         base = scenario(_legacy_config(), smoke)
         print(f"[{mode}] {name}: optimized ...", flush=True)
-        if profile and name == "wide_shuffle":
+        if profile and name == profile_target:
             profiler = cProfile.Profile()
             profiler.enable()
             opt = scenario(TezConfig(), smoke)

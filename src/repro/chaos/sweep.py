@@ -116,6 +116,74 @@ def _build_dag(runs: list, reducers: int, out_path: str = OUT_PATH,
     return dag
 
 
+def _diamond_map_fn(ctx, data):
+    recs = [(k % KEYS, v) for k, v in data["src"]]
+    return {"a": recs, "b": recs}
+
+
+def _diamond_left_fn(ctx, data):
+    return {"j": [(k, len(vs)) for k, vs in data["m"]]}
+
+
+def _diamond_right_fn(ctx, data):
+    return {"j": [(k, 2 * len(vs)) for k, vs in data["m"]]}
+
+
+def _diamond_join_fn(ctx, data):
+    merged: dict = {}
+    for side in ("a", "b"):
+        for k, vs in data[side]:
+            merged[k] = merged.get(k, 0) + sum(vs)
+    return {"out": sorted(merged.items())}
+
+
+def _build_diamond_dag(runs: list, reducers: int,
+                       out_path: str = OUT_PATH,
+                       name: str = DAG_NAME) -> DAG:
+    """Diamond slice ``m -> (a, b) -> j``: the middle and join
+    vertices are inline-fast-path eligible (FnProcessor over shuffle
+    IO) while the HDFS-rooted ``m`` takes the legacy generator path —
+    a sweep over this shape crosses the fast-path boundary at every
+    crash point."""
+
+    def sg(src: Vertex, dst: Vertex) -> Edge:
+        return Edge(src, dst, EdgeProperty(
+            DataMovementType.SCATTER_GATHER,
+            output_descriptor=Descriptor(OrderedPartitionedKVOutput),
+            input_descriptor=Descriptor(OrderedGroupedKVInput),
+        ))
+
+    m = Vertex("m", Descriptor(FnProcessor,
+                               {"fn": _tracked(_diamond_map_fn, "m",
+                                               runs)}),
+               parallelism=-1)
+    m.add_data_source("src", DataSourceDescriptor(
+        Descriptor(HdfsInput),
+        Descriptor(HdfsInputInitializer, {"paths": [IN_PATH]}),
+    ))
+    a = Vertex("a", Descriptor(FnProcessor,
+                               {"fn": _tracked(_diamond_left_fn, "a",
+                                               runs)}),
+               parallelism=2)
+    b = Vertex("b", Descriptor(FnProcessor,
+                               {"fn": _tracked(_diamond_right_fn, "b",
+                                               runs)}),
+               parallelism=2)
+    j = Vertex("j", Descriptor(FnProcessor,
+                               {"fn": _tracked(_diamond_join_fn, "j",
+                                               runs)}),
+               parallelism=reducers)
+    j.add_data_sink("out", DataSinkDescriptor(
+        Descriptor(HdfsOutput, {"path": out_path}),
+        Descriptor(HdfsOutputCommitter, {"path": out_path}),
+    ))
+    dag = (DAG(name).add_vertex(m).add_vertex(a)
+           .add_vertex(b).add_vertex(j))
+    dag.add_edge(sg(m, a)).add_edge(sg(m, b))
+    dag.add_edge(sg(a, j)).add_edge(sg(b, j))
+    return dag
+
+
 def _make_sim() -> SimCluster:
     return SimCluster(num_nodes=4, nodes_per_rack=2, cores_per_node=8,
                       memory_per_node_mb=16 * 1024, hdfs_block_size=4096,
@@ -162,7 +230,8 @@ class RunOutcome:
 
 def _execute(records: int, reducers: int,
              crash_after: Optional[int] = None,
-             checkpoint_interval: Optional[int] = None) -> RunOutcome:
+             checkpoint_interval: Optional[int] = None,
+             shape: str = "mr") -> RunOutcome:
     sim = _make_sim()
     sim.hdfs.write(IN_PATH, [(i, i) for i in range(records)],
                    record_bytes=16)
@@ -193,7 +262,8 @@ def _execute(records: int, reducers: int,
     client._make_am = make_am
 
     runs: list = []
-    handle = client.submit_dag(_build_dag(runs, reducers))
+    builder = _build_diamond_dag if shape == "diamond" else _build_dag
+    handle = client.submit_dag(builder(runs, reducers))
     sim.env.run(until=handle.completion)
     status = handle.status
 
@@ -351,7 +421,8 @@ def _check_point(base: RunOutcome, res: RunOutcome, k: int) -> CrashPoint:
 def run_sweep(records: int = 120, reducers: int = 2, stride: int = 1,
               checkpoint_interval: Optional[int] = None,
               out: Optional[str] = None, verbose: bool = True,
-              shards: int = 1, shard: int = 0) -> dict:
+              shards: int = 1, shard: int = 0,
+              shape: str = "mr") -> dict:
     """Crash after every ``stride``-th dispatched event; compare every
     recovered run against the no-crash baseline. Returns the summary
     dict (``summary["ok"]`` is the verdict).
@@ -368,11 +439,16 @@ def run_sweep(records: int = 120, reducers: int = 2, stride: int = 1,
 
     if not 0 <= shard < shards:
         raise ValueError(f"shard {shard} out of range for {shards} shards")
+    if shape not in ("mr", "diamond"):
+        raise ValueError(f"unknown sweep shape {shape!r}")
+    if shape != "mr" and shards > 1:
+        raise ValueError("sharded sweeps support only the 'mr' shape")
 
     def execute(crash_after: Optional[int] = None) -> RunOutcome:
         if shards == 1:
             return _execute(records, reducers, crash_after=crash_after,
-                            checkpoint_interval=checkpoint_interval)
+                            checkpoint_interval=checkpoint_interval,
+                            shape=shape)
         return _execute_sharded(records, reducers, shards, shard,
                                 crash_after=crash_after,
                                 checkpoint_interval=checkpoint_interval)
@@ -592,6 +668,11 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="crash this shard's AM at every event "
                              "boundary (implies --shards 2 when "
                              "--shards is not given)")
+    parser.add_argument("--shape", choices=("mr", "diamond"),
+                        default="mr",
+                        help="reference workload: the two-stage "
+                             "map-reduce or the fast-path diamond "
+                             "slice")
     parser.add_argument("--out", default=None,
                         help="write recovery telemetry JSONL here")
     parser.add_argument("--soak", action="store_true",
@@ -614,7 +695,8 @@ def main(argv: Optional[list[str]] = None) -> int:
                             stride=args.stride,
                             checkpoint_interval=args.checkpoint_interval,
                             out=args.out, verbose=not args.quiet,
-                            shards=shards, shard=shard)
+                            shards=shards, shard=shard,
+                            shape=args.shape)
     return 0 if summary["ok"] else 1
 
 

@@ -75,6 +75,11 @@ class ClusterSpec:
     # no-op tick) are skipped, with the node-rotation phase compensated
     # so allocation order is unchanged. Off ticks every heartbeat.
     event_driven_ticks: bool = True
+    # Bucketed-calendar timer wheel in the DES kernel: near-term timers
+    # land in unsorted 1/64 s buckets (O(1) append) and are heapified
+    # only when their quantum becomes current; pop order is identical
+    # to the plain binary heap. Off reproduces the single-heap kernel.
+    timer_wheel: bool = True
 
     # -- misc --------------------------------------------------------------
     hdfs_replication: int = 3

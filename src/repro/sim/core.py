@@ -44,6 +44,13 @@ _PENDING = 0
 _TRIGGERED = 1  # scheduled, callbacks not yet run
 _PROCESSED = 2  # callbacks have run
 
+# Timer-wheel bucket granularity: quanta per simulated second. 1/64 s
+# buckets keep the dense near-term band (heartbeats, fetch rounds,
+# zero-delay hops) in a handful of unsorted buckets while staying exact:
+# entries are bucketed by floor(time * _WHEEL_HZ) and re-heapified only
+# when their quantum becomes current, so pop order matches the heap.
+_WHEEL_HZ = 64.0
+
 
 class Event:
     """A one-shot occurrence that processes can wait on.
@@ -162,6 +169,28 @@ class Timeout(Event):
         env._schedule(self, delay)
 
 
+class _PooledEvent(Event):
+    """Kernel-internal recyclable hop event.
+
+    Used for the zero-payload wake-ups the kernel schedules constantly
+    (process bootstrap, interrupt hits, processed-target proxies,
+    pooled ``call_later`` hops). Released back to the environment's
+    pool when popped off the queue — *only* at pop time, so a
+    lazily-cancelled entry still lingering in the heap can never be
+    recycled out from under the queue. ``_gen`` bumps on every reuse:
+    a holder that kept ``(event, gen)`` can cancel through
+    :meth:`Environment.cancel_call` without ever killing the next
+    tenant of the recycled object. Pooled events are never handed to
+    user code as waitable events.
+    """
+
+    __slots__ = ("_gen",)
+
+    def __init__(self, env: "Environment"):
+        super().__init__(env)
+        self._gen = 0
+
+
 class Process(Event):
     """A generator coroutine driven by the events it yields.
 
@@ -179,8 +208,7 @@ class Process(Event):
         self._generator = generator
         self._target: Optional[Event] = None  # event currently waited on
         # Bootstrap: resume on the next tick.
-        init = Event(env)
-        init._state = _TRIGGERED
+        init = env._hop()
         init.callbacks.append(self._resume)
         env._schedule(init)
         for hook in env._process_hooks:
@@ -194,8 +222,7 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the next tick."""
         if not self.is_alive:
             return
-        hit = Event(self.env)
-        hit._state = _TRIGGERED
+        hit = self.env._hop()
         hit._exc = Interrupt(cause)
         hit._defused = True
         hit.callbacks.append(self._resume)
@@ -243,8 +270,7 @@ class Process(Event):
         self._target = next_ev
         if next_ev._state == _PROCESSED:
             # Already processed: resume immediately on the next tick.
-            proxy = Event(self.env)
-            proxy._state = _TRIGGERED
+            proxy = self.env._hop()
             proxy._value = next_ev._value
             proxy._exc = next_ev._exc
             if next_ev._exc is not None:
@@ -321,13 +347,38 @@ class AnyOf(_Condition):
 
 
 class Environment:
-    """Owns the clock and the event queue; executes the simulation."""
+    """Owns the clock and the event queue; executes the simulation.
 
-    def __init__(self, initial_time: float = 0.0):
+    Two queue backends share one total order ``(time, priority, seq)``:
+
+    * **binary heap** (default) — one ``heapq`` over every entry.
+    * **timer wheel** (``timer_wheel=True``) — a sparse bucketed
+      calendar for the dense near-term band: entries land unsorted in
+      per-quantum buckets (``_WHEEL_HZ`` quanta per simulated second,
+      i.e. 1/64 s granularity), a small heap of quantum ids picks the
+      next bucket, and only the *active* bucket is heapified. Inserts
+      into future buckets are O(1) appends instead of O(log n)
+      heap pushes; pop order is identical to the heap backend by
+      construction (the per-bucket heapify restores the same
+      ``(time, priority, seq)`` order the global heap would have).
+    """
+
+    def __init__(self, initial_time: float = 0.0,
+                 timer_wheel: bool = False):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active: Optional[Process] = None
+        # Timer-wheel backend state (unused in heap mode).
+        self._wheel = bool(timer_wheel)
+        self._cur: list[tuple] = []       # heapified active bucket
+        self._cur_q = int(self._now * _WHEEL_HZ)
+        self._buckets: dict[int, list[tuple]] = {}
+        self._bucket_q: list[int] = []    # heap of pending quantum ids
+        self._timer_wheel_hits = 0
+        # Recyclable kernel hop events (see _PooledEvent).
+        self._event_pool: list[_PooledEvent] = []
+        self._pool_reuse = 0
         # Observability: ambient telemetry handle (set by
         # repro.telemetry.Telemetry.install) and process-creation hooks.
         # Hooks observe scheduling only — they must not schedule events.
@@ -344,9 +395,31 @@ class Environment:
 
     @property
     def heap_pushes(self) -> int:
-        """Total entries ever pushed on the event heap (``_seq`` is
-        bumped exactly once per push) — perf instrumentation."""
+        """Total entries ever scheduled, in *either* queue backend.
+
+        Counter semantics: ``_seq`` is bumped exactly once per
+        scheduled entry — timeouts, event triggers, pooled hops and
+        ``schedule_many`` batches (one bump per batch) — at insert
+        time. Entries that are later lazily cancelled and skipped at
+        pop **stay counted**: the push happened and its cost was paid.
+        The timer wheel bumps the same counter for bucket appends as
+        for active-bucket heap pushes, so the number is comparable
+        across backends (use :attr:`timer_wheel_hits` to see how many
+        inserts took the O(1) bucket path).
+        """
         return self._seq
+
+    @property
+    def timer_wheel_hits(self) -> int:
+        """Inserts that took the timer wheel's O(1) future-bucket path
+        (0 in heap mode and for same-quantum inserts)."""
+        return self._timer_wheel_hits
+
+    @property
+    def pool_reuse(self) -> int:
+        """Kernel hop events served from the recycle pool instead of
+        being freshly allocated."""
+        return self._pool_reuse
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -371,7 +444,61 @@ class Environment:
     # -- scheduling -------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        entry = (self._now + delay, priority, self._seq, event)
+        if self._wheel:
+            self._wheel_insert(entry)
+        else:
+            heapq.heappush(self._queue, entry)
+
+    def _wheel_insert(self, entry: tuple) -> None:
+        q = int(entry[0] * _WHEEL_HZ)
+        if q <= self._cur_q:
+            # Due in the active quantum: share its (small) heap.
+            heapq.heappush(self._cur, entry)
+        else:
+            bucket = self._buckets.get(q)
+            if bucket is None:
+                self._buckets[q] = [entry]
+                heapq.heappush(self._bucket_q, q)
+            else:
+                bucket.append(entry)
+            self._timer_wheel_hits += 1
+
+    def _wheel_advance(self) -> bool:
+        """Make the active bucket hold the globally-next entry; False
+        when the wheel is empty. New inserts can only target the active
+        quantum or a future bucket (time is monotone), so the active
+        bucket's head is always the global minimum."""
+        cur = self._cur
+        while not cur:
+            if not self._bucket_q:
+                return False
+            q = heapq.heappop(self._bucket_q)
+            cur = self._buckets.pop(q)
+            heapq.heapify(cur)
+            self._cur = cur
+            self._cur_q = q
+        return True
+
+    def _hop(self) -> "_PooledEvent":
+        """A triggered, callback-less hop event — recycled when
+        available. Internal: pooled events must never escape to user
+        code (release at pop assumes no outstanding references)."""
+        pool = self._event_pool
+        if pool:
+            ev = pool.pop()
+            ev.callbacks = []
+            ev._state = _TRIGGERED
+            ev._value = None
+            ev._exc = None
+            ev._defused = False
+            ev._cancelled = False
+            ev._gen += 1
+            self._pool_reuse += 1
+            return ev
+        ev = _PooledEvent(self)
+        ev._state = _TRIGGERED
+        return ev
 
     def schedule_many(self, events: Iterable[Event], delay: float = 0.0,
                       priority: int = 1) -> None:
@@ -393,8 +520,11 @@ class Environment:
             self._schedule(batch[0], delay, priority)
             return
         self._seq += 1
-        heapq.heappush(self._queue,
-                       (self._now + delay, priority, self._seq, batch))
+        entry = (self._now + delay, priority, self._seq, batch)
+        if self._wheel:
+            self._wheel_insert(entry)
+        else:
+            heapq.heappush(self._queue, entry)
 
     def call_later(self, delay: float, fn: Callable[[], None]) -> Event:
         """Run ``fn()`` after ``delay`` sim seconds: one heap entry, no
@@ -407,25 +537,64 @@ class Environment:
         self._schedule(ev, delay)
         return ev
 
+    def call_later_pooled(self, delay: float,
+                          fn: Callable[[], None]) -> tuple[Event, int]:
+        """:meth:`call_later` on a recycled hop event: returns
+        ``(event, generation)``. The event object is reused after it
+        fires, so holders must cancel through
+        :meth:`cancel_call` with the returned generation — a plain
+        ``event.cancel()`` on a recycled hop would kill its next
+        tenant."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        ev = self._hop()
+        ev.callbacks.append(lambda _e: fn())
+        self._schedule(ev, delay)
+        return ev, ev._gen
+
+    def cancel_call(self, ev: Event, gen: int) -> None:
+        """Generation-guarded lazy cancel of a pooled hop: a no-op when
+        the hop already fired and was re-issued to someone else."""
+        if getattr(ev, "_gen", None) == gen:
+            ev._cancelled = True
+
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf.
 
         Pops lazily-cancelled entries off the head so the reported
         time is that of a live event.
         """
+        if self._wheel:
+            pool = self._event_pool
+            while self._wheel_advance():
+                cur = self._cur
+                entry = cur[0][3]
+                if entry.__class__ is not list and entry._cancelled:
+                    heapq.heappop(cur)
+                    if entry.__class__ is _PooledEvent:
+                        pool.append(entry)
+                    continue
+                return cur[0][0]
+            return float("inf")
         queue = self._queue
         while queue:
             entry = queue[0][3]
             if entry.__class__ is not list and entry._cancelled:
                 heapq.heappop(queue)
+                if entry.__class__ is _PooledEvent:
+                    self._event_pool.append(entry)
                 continue
             return queue[0][0]
         return float("inf")
 
     def step(self) -> None:
+        if self._wheel:
+            self._step_wheel()
+            return
         queue = self._queue
         if not queue:
             raise SimulationError("empty schedule")
+        pool = self._event_pool
         while queue:
             when, _prio, _seq, entry = heapq.heappop(queue)
             if when < self._now:
@@ -442,12 +611,56 @@ class Environment:
                         raise event._exc
                 return
             if entry._cancelled:
-                continue   # lazy deletion: skip dead timers
+                # Lazy deletion: skip dead timers (pop-time reclaim is
+                # the only safe point to recycle a pooled hop).
+                if entry.__class__ is _PooledEvent:
+                    pool.append(entry)
+                continue
             self._now = when
             entry._run_callbacks()
+            if entry.__class__ is _PooledEvent:
+                pool.append(entry)
             if entry._exc is not None and not entry._defused:
                 raise entry._exc
             return
+
+    def _step_wheel(self) -> None:
+        """step() against the bucketed-calendar backend: identical pop
+        order, identical cancelled-entry and batch handling."""
+        if not self._wheel_advance():
+            raise SimulationError("empty schedule")
+        pool = self._event_pool
+        while True:
+            when, _prio, _seq, entry = heapq.heappop(self._cur)
+            if when < self._now:
+                raise SimulationError("time went backwards")
+            if entry.__class__ is list:
+                self._now = when
+                for event in entry:
+                    if event._cancelled:
+                        continue
+                    event._run_callbacks()
+                    if event._exc is not None and not event._defused:
+                        raise event._exc
+                return
+            if entry._cancelled:
+                if entry.__class__ is _PooledEvent:
+                    pool.append(entry)
+                if not self._wheel_advance():
+                    raise SimulationError("empty schedule")
+                continue
+            self._now = when
+            entry._run_callbacks()
+            if entry.__class__ is _PooledEvent:
+                pool.append(entry)
+            if entry._exc is not None and not entry._defused:
+                raise entry._exc
+            return
+
+    def _pending(self) -> bool:
+        if self._queue:
+            return True
+        return bool(self._cur or self._bucket_q)
 
     def run(self, until: Any = None) -> Any:
         """Run until the given time, event, or queue exhaustion.
@@ -465,7 +678,7 @@ class Environment:
             if stop_time < self._now:
                 raise SimulationError("cannot run into the past")
 
-        while self._queue:
+        while self._pending():
             if stop_event is not None and stop_event.processed:
                 return stop_event.value
             if self.peek() > stop_time:

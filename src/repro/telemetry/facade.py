@@ -172,7 +172,27 @@ class Telemetry:
         self._sync_dropped()
         path = self.spanstore.persist(target_dir)
         self._write_shards(path)
+        self._write_kernel(path)
         return path
+
+    def _write_kernel(self, store_dir: str) -> None:
+        """Snapshot the DES kernel's scheduling counters into
+        ``<store_dir>/kernel.json`` so ``query --summary`` reports
+        event-plane volume (heap pushes, timer-wheel bucket hits,
+        pooled-event reuse) next to the DAG rollups."""
+        env = self.env
+        if env is None or not hasattr(env, "heap_pushes"):
+            return
+        payload = {
+            "heap_pushes": env.heap_pushes,
+            "timer_wheel_hits": getattr(env, "timer_wheel_hits", 0),
+            "pool_reuse": getattr(env, "pool_reuse", 0),
+        }
+        out = os.path.join(store_dir, "kernel.json")
+        tmp = out + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+        os.replace(tmp, out)
 
     def _write_shards(self, store_dir: str) -> None:
         """Sample every registered shard supplier into

@@ -37,13 +37,15 @@ import json
 import os
 import sys
 import time
+from typing import Optional
 
 from .analysis import (CriticalPathReport, CriticalPathSegment,
                        DagSummary, critical_path, dag_summary)
 from .store import ROLLUP_DIR, SpanStore, read_manifest
 from .timeline import TimelineStore
 
-__all__ = ["main", "load_rollups", "load_shards", "shard_line"]
+__all__ = ["main", "load_rollups", "load_shards", "shard_line",
+           "load_kernel", "kernel_line"]
 
 
 # ---------------------------------------------------------------------------
@@ -74,6 +76,25 @@ def load_shards(store_dir: str) -> list[dict]:
         return []
     with open(path, encoding="utf-8") as fh:
         return json.load(fh).get("shards", [])
+
+
+def load_kernel(store_dir: str) -> Optional[dict]:
+    """DES-kernel scheduling counters sampled at persist time
+    (``kernel.json`` at the store root); ``None`` for stores persisted
+    without an attached environment."""
+    path = os.path.join(store_dir, "kernel.json")
+    if not os.path.isfile(path):
+        return None
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def kernel_line(payload: dict) -> str:
+    return (
+        f"kernel: heap_pushes={payload.get('heap_pushes', 0)} "
+        f"timer_wheel_hits={payload.get('timer_wheel_hits', 0)} "
+        f"pool_reuse={payload.get('pool_reuse', 0)}"
+    )
 
 
 def shard_line(payload: dict) -> str:
@@ -248,6 +269,9 @@ def main(argv=None) -> int:
         if not args.dag:
             for payload in load_shards(args.store):
                 print(shard_line(payload))
+            kernel = load_kernel(args.store)
+            if kernel is not None:
+                print(kernel_line(kernel))
         return 0
 
     if args.critical is not None:

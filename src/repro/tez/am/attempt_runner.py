@@ -17,7 +17,14 @@ from ...sim import Interrupt, Store
 from ...telemetry import get_telemetry
 from ...yarn import Container, Resource
 from ..dag import DataMovementType
+from ..edge_manager import OneToOneEdgeManager
 from ..events import DataMovementEvent, TezEvent
+from ..library.processors import (
+    FnProcessor,
+    NoOpProcessor,
+    SleepProcessor,
+)
+from ..library.shuffle_io import _FetchingInputBase, _SpillOutputBase
 from ..registry import ObjectRegistry, Scope
 from ..runtime import InputSpec, OutputSpec, TaskContext, TaskSpec
 from .dispatcher import AttemptExitedEvent
@@ -35,6 +42,41 @@ from .task_scheduler import TaskRequest
 __all__ = ["AttemptRunner", "BASE_TASK_PRIORITY"]
 
 BASE_TASK_PRIORITY = 3
+
+# IPO descriptor classes proven safe for the inline fast path: their
+# ``initialize`` generators are empty and their readers/writers compose
+# correctly under ``yield from`` (no reliance on running in a child
+# process of their own). Root HDFS inputs/outputs are deliberately
+# absent — they take the full generator path.
+_INLINE_PROCESSORS = (FnProcessor, NoOpProcessor, SleepProcessor)
+
+
+class _InlineEventChannel:
+    """Drop-in for a fast-path attempt's ``event_store``.
+
+    Replaces the per-attempt ``event_pump`` process: routed deliveries
+    arriving through the dispatcher are pushed synchronously into the
+    task's logical inputs (whose stores wake any blocked reader), so a
+    non-interacting attempt costs zero standing kernel entries for its
+    event channel. ``closed`` flips when the body finishes — late
+    deliveries are dropped exactly where the legacy pump would have
+    left them unread."""
+
+    __slots__ = ("inputs", "closed")
+
+    def __init__(self, inputs: dict):
+        self.inputs = inputs
+        self.closed = False
+
+    def put_nowait(self, event) -> None:
+        if not self.closed:
+            AttemptRunner.dispatch_to_input(self.inputs, event)
+
+    def offer(self, event):
+        """Batched-delivery hook (`Store.offer` shape): delivery is
+        synchronous here, so there is never a staged getter to wake."""
+        self.put_nowait(event)
+        return None
 
 
 class AttemptRunner:
@@ -144,6 +186,33 @@ class AttemptRunner:
             task_ctx, spec.processor_descriptor.payload
         )
 
+        if am.config.attempt_fast_path and self.inline_eligible(spec):
+            # Inline fast path: the whole IPO composition runs in this
+            # generator's frame (entities compose via ``yield from``),
+            # and the event pump is replaced by a synchronous delivery
+            # channel — a non-interacting attempt costs O(1) kernel
+            # entries end-to-end instead of ~10 child processes.
+            task_ctx.inline = True
+            for entity in [*inputs.values(), *outputs.values(),
+                           processor]:
+                yield from entity.initialize()
+            attempt.event_store = channel = _InlineEventChannel(inputs)
+            for event in self.snapshot_events(task):
+                self.dispatch_to_input(inputs, event)
+            try:
+                yield from processor.run(inputs, outputs)
+                out_events: list[TezEvent] = []
+                for output in outputs.values():
+                    events = yield from output.close()
+                    out_events.extend(events or [])
+                attempt.counters = dict(task_ctx.counters)
+                attempt._pending_success_events = out_events
+                # Completion reaches the AM on the next heartbeat.
+                yield am.env.timeout(am.spec.heartbeat_interval / 2)
+            finally:
+                channel.closed = True
+            return
+
         for entity in [*inputs.values(), *outputs.values(), processor]:
             yield am.env.process(
                 entity.initialize(), name=f"io-init:{attempt.attempt_id}"
@@ -176,6 +245,27 @@ class AttemptRunner:
         finally:
             if pump.is_alive:
                 pump.interrupt("attempt finished")
+
+    @staticmethod
+    def inline_eligible(spec: TaskSpec) -> bool:
+        """True when every IPO descriptor class of ``spec`` is in the
+        known-inline-safe set. Anything else (root HDFS IO, custom
+        processors) demotes the attempt to the full generator path."""
+        cls = spec.processor_descriptor.cls
+        if not (isinstance(cls, type)
+                and issubclass(cls, _INLINE_PROCESSORS)):
+            return False
+        for ispec in spec.inputs:
+            icls = ispec.descriptor.cls
+            if not (isinstance(icls, type)
+                    and issubclass(icls, _FetchingInputBase)):
+                return False
+        for ospec in spec.outputs:
+            ocls = ospec.descriptor.cls
+            if not (isinstance(ocls, type)
+                    and issubclass(ocls, _SpillOutputBase)):
+                return False
+        return True
 
     def event_pump(self, attempt: TaskAttempt,
                    inputs: dict) -> Generator:
@@ -272,20 +362,37 @@ class AttemptRunner:
         for edge in vr.in_edges:
             manager = self.am.lifecycle.edge_manager(edge)
             source_name = edge.source.name
-            for (src_name, src_task, src_out), event in vr.incoming.items():
-                if src_name != source_name:
-                    continue
-                routing = manager.route(src_task, src_out)
-                if task.index in routing:
-                    routed = DataMovementEvent(
+            if (self.am.config.attempt_fast_path
+                    and type(manager) is OneToOneEdgeManager):
+                # route(s, 0) == {s: 0}: the only buffered event that
+                # can route to this task is keyed (source, index, 0) —
+                # probe it instead of scanning every incoming event.
+                event = vr.incoming.get((source_name, task.index, 0))
+                if event is not None:
+                    out.append(DataMovementEvent(
                         source_vertex=event.source_vertex,
                         source_task_index=event.source_task_index,
                         source_output_index=event.source_output_index,
                         payload=event.payload,
                         version=event.version,
-                        target_input_index=routing[task.index],
-                    )
-                    out.append(routed)
+                        target_input_index=0,
+                    ))
+            else:
+                for (src_name, src_task, src_out), event in \
+                        vr.incoming.items():
+                    if src_name != source_name:
+                        continue
+                    routing = manager.route(src_task, src_out)
+                    if task.index in routing:
+                        routed = DataMovementEvent(
+                            source_vertex=event.source_vertex,
+                            source_task_index=event.source_task_index,
+                            source_output_index=event.source_output_index,
+                            payload=event.payload,
+                            version=event.version,
+                            target_input_index=routing[task.index],
+                        )
+                        out.append(routed)
             partition_range = getattr(manager, "partition_range", None)
             for (src_name, src_task), comp in \
                     vr.incoming_composites.items():

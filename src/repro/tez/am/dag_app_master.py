@@ -31,6 +31,7 @@ from ..dag import DAG
 from ..runtime import FrameworkServices
 from .attempt_runner import BASE_TASK_PRIORITY, AttemptRunner
 from .dispatcher import (
+    AttemptBatchExitedEvent,
     AttemptExitedEvent,
     DataDeliveryBatchEvent,
     DataDeliveryEvent,
@@ -114,6 +115,12 @@ class DAGAppMaster:
         # Control plane: one dispatcher, one machine factory, and the
         # components carved out of the historical monolith.
         self.dispatcher = Dispatcher(self.env, name=str(ctx.app_id))
+        self.dispatcher.fast_timers = self.config.attempt_fast_path
+        # Same-tick attempt-exit coalescing (mirrors the event router's
+        # delivery buckets): tick -> AttemptBatchExitedEvent.
+        self._exit_buckets: dict[float, AttemptBatchExitedEvent] = {}
+        if self.config.batch_attempt_exits:
+            self.scheduler.defer_exits = self._defer_attempt_exit
         if recovery is not None:
             self.dispatcher.attach_journal(recovery, self.epoch)
         self.machines = MachineSet(self.dispatcher)
@@ -131,6 +138,8 @@ class DAGAppMaster:
         self.dispatcher.register(StateTransitionEvent, self._on_transition)
         self.dispatcher.register(AttemptExitedEvent,
                                  self.runner.on_attempt_exited)
+        self.dispatcher.register(AttemptBatchExitedEvent,
+                                 self._on_attempt_batch_exited)
         self.dispatcher.register(TaskUplinkEvent, self.router.on_task_uplink)
         self.dispatcher.register(DataDeliveryEvent,
                                  self.router.on_data_delivery)
@@ -205,6 +214,7 @@ class DAGAppMaster:
         for vertex in dag.topological_order():
             vr = VertexRuntime(vertex, depths[vertex.name],
                                dag_id=self._dag_id)
+            vr._count_done = self.config.attempt_fast_path
             self._vertices[vertex.name] = vr
         for edge in dag.edges:
             self._vertices[edge.source.name].out_edges.append(edge)
@@ -330,6 +340,33 @@ class DAGAppMaster:
 
     def _attempt_exit(self, attempt, error) -> None:
         self.dispatcher.dispatch(AttemptExitedEvent(attempt, error))
+
+    def _defer_attempt_exit(self, attempt, error, unit) -> None:
+        """Scheduler hook (batch_attempt_exits): coalesce same-tick
+        completions into one batch envelope processed at the tail of
+        the tick.  ``unit`` is the scheduler's deferred exit tail —
+        replaying the units in arrival order preserves the exact
+        task->slot pairing of the synchronous path.  The journal
+        expands the batch per member, so recovery folds are
+        batching-agnostic."""
+        exit_event = AttemptExitedEvent(attempt, error)
+        exit_event._unit = unit
+        now = self.env.now
+        batch = self._exit_buckets.get(now)
+        if batch is None:
+            batch = AttemptBatchExitedEvent()
+            self._exit_buckets[now] = batch
+            self.dispatcher.dispatch_after(0.0, batch,
+                                           name="attempt-exits")
+        batch.exits.append(exit_event)
+
+    def _on_attempt_batch_exited(self,
+                                 batch: AttemptBatchExitedEvent) -> None:
+        self._exit_buckets.pop(batch.time, None)
+        for exit_event in batch.exits:
+            exit_event._unit(
+                lambda ee=exit_event: self.runner.on_attempt_exited(ee)
+            )
 
     def _on_node_loss(self, node: Node) -> None:
         self.dispatcher.dispatch(NodeLostEvent(node))

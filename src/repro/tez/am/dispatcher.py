@@ -34,6 +34,7 @@ __all__ = [
     "ControlEvent",
     "StateTransitionEvent",
     "AttemptExitedEvent",
+    "AttemptBatchExitedEvent",
     "TaskUplinkEvent",
     "DataDeliveryEvent",
     "DataDeliveryBatchEvent",
@@ -77,6 +78,19 @@ class AttemptExitedEvent(ControlEvent):
 
     attempt: Any
     error: Optional[BaseException] = None
+
+
+@dataclass
+class AttemptBatchExitedEvent(ControlEvent):
+    """All attempt exits landing on one simulated tick, coalesced into
+    a single bus dispatch (mirroring :class:`DataDeliveryBatchEvent`).
+    The journal and the opt-in determinism journal record the member
+    exits individually, so the canonical event stream matches the
+    unbatched mode record-for-record (member *order within the tick*
+    relative to interleaved transition records can differ — compare
+    canonical journals with batching disabled on both sides)."""
+
+    exits: list = field(default_factory=list)   # AttemptExitedEvent
 
 
 @dataclass
@@ -161,6 +175,11 @@ class Dispatcher:
         self.halted = False
         self._halt_at: Optional[int] = None
         self._halt_callback: Optional[Callable[[], None]] = None
+        # Timer fast path: deliver dispatch_after through a pooled
+        # kernel callback hop (one heap entry) instead of a dedicated
+        # timeout-then-dispatch generator process (three). Opt-in via
+        # the AM config so the legacy kernel ordering is reproducible.
+        self.fast_timers = False
         # Opt-in journal for determinism tests / debugging: (time, seq,
         # type name, summary) per event. Off by default — big DAG runs
         # cross the bus hundreds of thousands of times.
@@ -234,6 +253,12 @@ class Dispatcher:
         each delivery is its own kernel event and the sim heap breaks
         timestamp ties by insertion sequence.
         """
+        if self.fast_timers:
+            self.env.call_later_pooled(
+                delay, lambda: self.dispatch(event)
+            )
+            return
+
         def fire() -> Generator:
             yield self.env.timeout(delay)
             self.dispatch(event)
@@ -241,7 +266,13 @@ class Dispatcher:
         self.env.process(fire(), name=name or f"dispatch:{self.name}")
 
     def _deliver(self, event: ControlEvent) -> None:
-        self.dispatched += 1
+        if isinstance(event, AttemptBatchExitedEvent):
+            # Count the member exits, not the envelope: `dispatched` is
+            # a workload-volume metric (and the crash sweep's stride
+            # axis), so it must not shrink when exits coalesce.
+            self.dispatched += len(event.exits)
+        else:
+            self.dispatched += 1
         if self.keep_journal:
             if isinstance(event, DataDeliveryBatchEvent):
                 # Journal the member deliveries, not the envelope: the
@@ -250,6 +281,12 @@ class Dispatcher:
                 for inner in event.deliveries:
                     self.journal.append(
                         (event.time, event.seq, "DataDeliveryEvent",
+                         self._summarize(inner))
+                    )
+            elif isinstance(event, AttemptBatchExitedEvent):
+                for inner in event.exits:
+                    self.journal.append(
+                        (event.time, event.seq, "AttemptExitedEvent",
                          self._summarize(inner))
                     )
             else:
@@ -277,6 +314,15 @@ class Dispatcher:
                     callback()
 
     @staticmethod
+    def _stable_repr(obj) -> str:
+        if isinstance(obj, (str, int, float, bool, type(None))):
+            return repr(obj)
+        if isinstance(obj, (tuple, list)):
+            inner = ", ".join(Dispatcher._stable_repr(o) for o in obj)
+            return f"({inner})"
+        return type(obj).__name__
+
+    @staticmethod
     def _summarize(event: ControlEvent) -> str:
         if isinstance(event, StateTransitionEvent):
             return (f"{event.machine}:{event.subject_id} "
@@ -287,7 +333,10 @@ class Dispatcher:
             err = type(event.error).__name__ if event.error else "ok"
             return f"{getattr(event.attempt, 'attempt_id', '?')} {err}"
         if isinstance(event, FaultEvent):
-            return f"{event.kind}:{event.target}"
+            # Targets may hold live service objects whose default repr
+            # embeds id(); summarize those by class name so journals
+            # from identical runs compare byte-identical.
+            return f"{event.kind}:{Dispatcher._stable_repr(event.target)}"
         if isinstance(event, DataDeliveryEvent):
             attempt_id = getattr(event.attempt, "attempt_id", "?")
             dme = event.payload

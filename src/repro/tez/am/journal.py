@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Optional
 
 from .dispatcher import (
+    AttemptBatchExitedEvent,
     AttemptExitedEvent,
     ControlEvent,
     DataDeliveryBatchEvent,
@@ -146,13 +147,12 @@ class RecoveryJournal:
                 type(event.payload).__name__,
             ))
         elif cls is AttemptExitedEvent:
-            a = event.attempt
-            t = a.task
-            err = type(event.error).__name__ if event.error else "ok"
-            self._append((
-                "exit", epoch, dag_name_of(t.vertex.dag_id),
-                (t.vertex.name, t.index, a.number), err,
-            ))
+            self._append(self._exit_record(epoch, event))
+        elif cls is AttemptBatchExitedEvent:
+            # Expand per member: the record stream is identical whether
+            # exits crossed the bus individually or coalesced per tick.
+            for inner in event.exits:
+                self._append(self._exit_record(epoch, inner))
         elif cls is NodeLostEvent:
             self._append((
                 "node_lost", epoch,
@@ -178,6 +178,16 @@ class RecoveryJournal:
             return
         self._append(("dag_finished",
                       self._epoch if epoch is None else epoch, dag_name))
+
+    @staticmethod
+    def _exit_record(epoch: int, event: AttemptExitedEvent) -> tuple:
+        a = event.attempt
+        t = a.task
+        err = type(event.error).__name__ if event.error else "ok"
+        return (
+            "exit", epoch, dag_name_of(t.vertex.dag_id),
+            (t.vertex.name, t.index, a.number), err,
+        )
 
     @staticmethod
     def _transition_record(epoch: int,

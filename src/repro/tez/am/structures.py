@@ -141,7 +141,7 @@ class Task:
     def __init__(self, vertex: "VertexRuntime", index: int):
         self.vertex = vertex
         self.index = index
-        self.state = TaskState.NEW
+        self._state = TaskState.NEW
         self.attempts: list[TaskAttempt] = []
         self.failed_attempts = 0
         self.output_version = -1         # attempt number of live output
@@ -149,6 +149,23 @@ class Task:
         self.output_events: list[DataMovementEvent] = []
         self.location_nodes: tuple[str, ...] = ()
         self.location_racks: tuple[str, ...] = ()
+
+    @property
+    def state(self) -> TaskState:
+        return self._state
+
+    @state.setter
+    def state(self, value: TaskState) -> None:
+        # Keep the owning vertex's succeeded-task counter in lock-step:
+        # every state move (machine fire, restart, recovery) flows
+        # through this setter, so `all_tasks_done` can be O(1).
+        prev = self._state
+        if prev is not value:
+            if prev is TaskState.SUCCEEDED:
+                self.vertex._succeeded_count -= 1
+            if value is TaskState.SUCCEEDED:
+                self.vertex._succeeded_count += 1
+        self._state = value
 
     @property
     def task_id(self) -> str:
@@ -182,6 +199,12 @@ class VertexRuntime:
         self.init_state = VertexInitState.PENDING
         self.parallelism = vertex.parallelism
         self.tasks: list[Task] = []
+        # Count of tasks currently in SUCCEEDED, maintained by the
+        # Task.state setter. Read by all_tasks_done when the AM opts
+        # into the fast check (`_count_done`); the linear scan is the
+        # perf-bench baseline.
+        self._succeeded_count = 0
+        self._count_done = False
         self.scheduled: set[int] = set()
         self.completed_tasks = 0
         self.in_edges: list[Edge] = []
@@ -221,6 +244,7 @@ class VertexRuntime:
                 f"vertex {self.name}: parallelism unresolved "
                 f"({self.parallelism})"
             )
+        self._succeeded_count = 0
         self.tasks = [Task(self, i) for i in range(self.parallelism)]
 
     def set_parallelism(self, parallelism: int) -> None:
@@ -235,6 +259,11 @@ class VertexRuntime:
         self.create_tasks()
 
     def all_tasks_done(self) -> bool:
+        if self._count_done:
+            return (
+                bool(self.tasks)
+                and self._succeeded_count == len(self.tasks)
+            )
         return (
             bool(self.tasks)
             and all(t.state == TaskState.SUCCEEDED for t in self.tasks)

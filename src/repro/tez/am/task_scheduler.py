@@ -88,6 +88,11 @@ class TaskSchedulerService:
         self.cluster = ctx.rm.cluster
         self._run_attempt = run_attempt
         self._on_attempt_exit = on_attempt_exit
+        # Batched-exit hook (set by the AM when batch_attempt_exits is
+        # on): called with (attempt, error, unit) instead of running
+        # the exit unit synchronously; ``unit(process)`` replays
+        # [free slot, process exit, match slot] later in the tick.
+        self.defer_exits = None
         self.pending: list[TaskRequest] = []
         self.slots: dict[Any, _Slot] = {}   # ContainerId -> _Slot
         self.blacklisted: set[str] = set()  # nodes the AM avoids
@@ -633,9 +638,6 @@ class TaskSchedulerService:
             slot.current = None
             if self._indexed:
                 self._slot_by_attempt.pop(attempt, None)
-                # Reusable again from this instant: the attempt-exit
-                # callback below may schedule() synchronously.
-                self._mark_idle(slot)
             entry = TaskTraceEntry(
                 container_id=str(slot.container.container_id),
                 attempt_id=attempt.attempt_id,
@@ -661,8 +663,37 @@ class TaskSchedulerService:
                 )
                 telemetry.metrics.histogram(
                     "scheduler.task_run_seconds").observe(entry.duration)
+            if self.defer_exits is None:
+                self._attempt_exit_unit(slot, attempt, error)
+            else:
+                self.defer_exits(
+                    attempt, error,
+                    lambda process, s=slot, a=attempt, e=error:
+                        self._attempt_exit_unit(s, a, e, process),
+                )
+
+    def _attempt_exit_unit(self, slot: _Slot, attempt: TaskAttempt,
+                           error: Optional[BaseException],
+                           process=None) -> None:
+        """The tail of an attempt's life: make its slot reusable,
+        process the exit, then offer the slot to the pending queue.
+
+        Kept as one function so batched-exit mode (``defer_exits``)
+        can replay deferred units in arrival order at the tail of the
+        tick with exactly the slot visibility the synchronous path
+        has: an exit's consumers may reuse its own slot and slots of
+        earlier-processed exits, never a slot whose exit is still
+        queued.  ``process`` overrides the exit-processing step (the
+        batch handler delivers the member exits itself instead of
+        re-dispatching them)."""
+        # Reusable from this instant: the exit processing below may
+        # schedule() consumer tasks synchronously.
+        self._mark_idle(slot)
+        if process is None:
             self._on_attempt_exit(attempt, error)
-            self._match_slot_to_pending(slot)
+        else:
+            process()
+        self._match_slot_to_pending(slot)
 
     # ------------------------------------------------------------ idle reaper
     def _idle_reaper(self) -> Generator:

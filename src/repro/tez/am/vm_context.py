@@ -57,6 +57,16 @@ class _VMContext(VertexManagerContext):
     def scheduled_tasks(self) -> set[int]:
         return set(self._vr.scheduled)
 
+    def is_scheduled(self, task_index: int) -> bool:
+        return task_index in self._vr.scheduled
+
+    def scheduled_count(self) -> int:
+        return len(self._vr.scheduled)
+
+    @property
+    def incremental_scheduling(self) -> bool:
+        return self._am.config.attempt_fast_path
+
     def user_payload(self) -> Any:
         desc = self._vr.vertex.vertex_manager
         return desc.payload if desc else None

@@ -59,6 +59,27 @@ class TezConfig:
     # unchanged. Off reproduces the historical scan-everything matcher
     # (the perf-bench baseline).
     indexed_scheduler: bool = True
+    # Attempt-lifecycle fast path: attempts whose inputs are fully
+    # satisfied at launch run as a single flat generator driven by a
+    # callback chain (nested entity processes inlined via yield-from,
+    # the event pump replaced by a callback re-arm on the event store),
+    # vertex managers schedule incrementally (O(1) per source
+    # completion instead of an O(parallelism) rescan), task-completion
+    # checks use a per-vertex succeeded counter, and one-to-one
+    # snapshot resolution probes the buffered-event index directly.
+    # Attempts that still need live event interplay (unsatisfied
+    # inputs, root initializers, unknown IPO classes) take the full
+    # generator path. Off reproduces the historical per-attempt
+    # process pipeline (the perf-bench baseline).
+    attempt_fast_path: bool = True
+    # Attempt completions landing on the same heartbeat tick are
+    # coalesced into one AttemptBatchExitedEvent per tick (scheduled
+    # exactly where the first exit's dispatch would have been, so
+    # kernel ordering is preserved); the journal and the debug journal
+    # expand the batch per member, keeping the canonical event stream
+    # and the crash-anywhere sweep invariant. Off dispatches one
+    # AttemptExitedEvent per completion (the perf-bench baseline).
+    batch_attempt_exits: bool = True
 
     # -- commit ---------------------------------------------------------------
     commit_on_dag_success: bool = True

@@ -36,10 +36,15 @@ class FnProcessor(Processor):
             yield self.ctx.compute(setup)
         data: dict[str, Any] = {}
         for name, logical_input in inputs.items():
-            data[name] = yield self.ctx.env.process(
-                logical_input.reader(),
-                name=f"read:{self.ctx.task.attempt_id}:{name}",
-            )
+            if self.ctx.inline:
+                # Fast path: run the reader in this generator's frame —
+                # no child Process, no bootstrap/completion hops.
+                data[name] = yield from logical_input.reader()
+            else:
+                data[name] = yield self.ctx.env.process(
+                    logical_input.reader(),
+                    name=f"read:{self.ctx.task.attempt_id}:{name}",
+                )
         result = fn(self.ctx, data) or {}
         unknown = set(result) - set(outputs)
         if unknown:
@@ -53,10 +58,13 @@ class FnProcessor(Processor):
         )
         yield self.ctx.compute((n_in + n_out) * per_record)
         for name, records in result.items():
-            yield self.ctx.env.process(
-                outputs[name].write(records),
-                name=f"write:{self.ctx.task.attempt_id}:{name}",
-            )
+            if self.ctx.inline:
+                yield from outputs[name].write(records)
+            else:
+                yield self.ctx.env.process(
+                    outputs[name].write(records),
+                    name=f"write:{self.ctx.task.attempt_id}:{name}",
+                )
 
 
 class NoOpProcessor(Processor):
@@ -64,8 +72,11 @@ class NoOpProcessor(Processor):
 
     def run(self, inputs, outputs) -> Generator:
         for name, logical_input in inputs.items():
-            yield self.ctx.env.process(logical_input.reader(),
-                                       name=f"read:{name}")
+            if self.ctx.inline:
+                yield from logical_input.reader()
+            else:
+                yield self.ctx.env.process(logical_input.reader(),
+                                           name=f"read:{name}")
 
 
 class SleepProcessor(Processor):

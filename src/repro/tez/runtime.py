@@ -139,6 +139,11 @@ class TaskContext:
         self.registry = registry
         self._send_event = send_event
         self.counters: dict[str, float] = {}
+        # Set by the framework when this attempt runs on the inline
+        # fast path: IPO entities should compose nested generators with
+        # ``yield from`` instead of spawning child sim processes, and
+        # may drain already-buffered store items without blocking.
+        self.inline = False
         # Scope identifiers for the shared object registry; set by the
         # framework before the task runs.
         self.vertex_scope_id = f"{spec.dag_name}/{spec.vertex_name}"
@@ -220,8 +225,12 @@ class LogicalInput:
         yield from ()
 
     def handle_event(self, event: TezEvent) -> None:
-        """Default: queue for the reader process to consume."""
-        self.events.put(event)
+        """Default: queue for the reader process to consume.
+
+        Fire-and-forget: nobody awaits the put acknowledgement, so the
+        no-ack variant saves one inert kernel entry per routed event.
+        """
+        self.events.put_nowait(event)
 
     def reader(self) -> Generator:
         """Process returning the input's records."""

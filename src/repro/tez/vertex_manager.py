@@ -72,6 +72,21 @@ class VertexManagerContext:
     def scheduled_tasks(self) -> set[int]:
         raise NotImplementedError
 
+    def is_scheduled(self, task_index: int) -> bool:
+        """O(1) membership probe (default: via the copied set)."""
+        return task_index in self.scheduled_tasks()
+
+    def scheduled_count(self) -> int:
+        return len(self.scheduled_tasks())
+
+    @property
+    def incremental_scheduling(self) -> bool:
+        """True when the AM asks managers to schedule incrementally
+        (O(1) work per source completion) instead of rescanning every
+        task index. Both paths schedule the same indices in the same
+        order; the rescan is the perf-bench baseline."""
+        return False
+
     def user_payload(self) -> Any:
         raise NotImplementedError
 
@@ -156,8 +171,14 @@ class InputReadyVertexManager(VertexManagerPlugin):
     def __init__(self, ctx, payload: Any = None):
         super().__init__(ctx, payload)
         self._one_to_one_sources: list[str] = []
+        self._oo_source_set: frozenset = frozenset()
         self._all_sources: list[str] = []
         self._completed: dict[str, set[int]] = {}
+        # Incremental mode only: True once the broadcast gate passed
+        # and the one-time catch-up scan ran. From then on each
+        # one-to-one completion is checked in O(#sources) instead of
+        # rescanning every task index.
+        self._gate_open = False
 
     def initialize(self) -> None:
         info = getattr(self.ctx, "edge_types", None)
@@ -172,6 +193,7 @@ class InputReadyVertexManager(VertexManagerPlugin):
                     self._all_sources.append(src)
         else:
             self._all_sources = list(self.ctx.source_vertices())
+        self._oo_source_set = frozenset(self._one_to_one_sources)
         self._completed = {
             s: set()
             for s in self._one_to_one_sources + self._all_sources
@@ -184,7 +206,27 @@ class InputReadyVertexManager(VertexManagerPlugin):
                                  task_index: int) -> None:
         if vertex_name in self._completed:
             self._completed[vertex_name].add(task_index)
-        self._maybe_schedule()
+        if self._gate_open:
+            self._incremental_step(vertex_name, task_index)
+        else:
+            self._maybe_schedule()
+
+    def _incremental_step(self, vertex_name: str,
+                          task_index: int) -> None:
+        """O(#sources) readiness check for one newly-completed source
+        task. Schedules the same index the full rescan would have found
+        newly ready (an extra completion of a broadcast source can
+        never make a new task ready once the gate is open)."""
+        if vertex_name not in self._oo_source_set:
+            return
+        if task_index >= self.ctx.vertex_parallelism:
+            return
+        if self.ctx.is_scheduled(task_index):
+            return
+        for s in self._one_to_one_sources:
+            if task_index not in self._completed[s]:
+                return
+        self.ctx.schedule_tasks([task_index])
 
     def _maybe_schedule(self) -> None:
         if any(
@@ -197,6 +239,19 @@ class InputReadyVertexManager(VertexManagerPlugin):
             for s in self._all_sources
         )
         if not broadcast_ready:
+            return
+        if getattr(self.ctx, "incremental_scheduling", False):
+            # One-time catch-up in the same ascending order the rescan
+            # would use; subsequent completions go incremental.
+            ready = [
+                i for i in range(self.ctx.vertex_parallelism)
+                if not self.ctx.is_scheduled(i)
+                and all(i in self._completed[s]
+                        for s in self._one_to_one_sources)
+            ]
+            self._gate_open = True
+            if ready:
+                self.ctx.schedule_tasks(ready)
             return
         ready = []
         for i in range(self.ctx.vertex_parallelism):
@@ -250,6 +305,10 @@ class ShuffleVertexManager(VertexManagerPlugin):
         self._completed: dict[str, set[int]] = {}
         self._reported_bytes: dict[tuple[str, int], int] = {}
         self._parallelism_decided = False
+        # Incremental mode only: ascending scan frontier — every index
+        # below it is known scheduled, so repeated slow-start rounds
+        # cost O(newly scheduled) instead of O(parallelism).
+        self._next_unscheduled = 0
 
     def initialize(self) -> None:
         self._completed = {s: set() for s in self.ctx.source_vertices()}
@@ -341,6 +400,22 @@ class ShuffleVertexManager(VertexManagerPlugin):
             target = max(1, math.ceil(
                 parallelism * (fraction - lo) / max(hi - lo, 1e-9)
             ))
+        if getattr(self.ctx, "incremental_scheduling", False):
+            # Same ascending pick as the rescan below: tasks are only
+            # ever scheduled by this manager, so indices below the
+            # frontier stay scheduled and the frontier only advances.
+            need = target - self.ctx.scheduled_count()
+            to_schedule = []
+            i = self._next_unscheduled
+            while need > 0 and i < parallelism:
+                if not self.ctx.is_scheduled(i):
+                    to_schedule.append(i)
+                    need -= 1
+                i += 1
+            self._next_unscheduled = i
+            if to_schedule:
+                self.ctx.schedule_tasks(to_schedule)
+            return
         scheduled = self.ctx.scheduled_tasks()
         to_schedule = [
             i for i in range(parallelism)

@@ -27,9 +27,12 @@ def test_legacy_config_disables_both_optimizations():
     assert not legacy.composite_dme
     assert not legacy.coalesce_deliveries
     assert not legacy.indexed_scheduler
+    assert not legacy.attempt_fast_path
+    assert not legacy.batch_attempt_exits
     default = TezConfig()
     assert default.composite_dme and default.coalesce_deliveries
     assert default.indexed_scheduler
+    assert default.attempt_fast_path and default.batch_attempt_exits
 
 
 def test_check_passes_when_ratios_hold():
@@ -83,6 +86,7 @@ def test_full_mode_enforces_absolute_criteria():
     assert CRITERIA["wide_shuffle_buffered.wall_speedup"] >= 1.5
     assert CRITERIA["sched_heavy.wall_speedup"] >= 1.5
     assert CRITERIA["telemetry_overhead.wall_speedup"] >= 0.95
+    assert CRITERIA["diamond.wall_speedup"] >= 5.0
     results = {
         "mode": "full",
         "scenarios": {
@@ -90,6 +94,7 @@ def test_full_mode_enforces_absolute_criteria():
             "wide_shuffle_buffered": {"ratios": {"wall_speedup": 2.0}},
             "sched_heavy": {"ratios": {"wall_speedup": 3.0}},
             "telemetry_overhead": {"ratios": {"wall_speedup": 0.99}},
+            "diamond": {"ratios": {"wall_speedup": 6.0}},
         },
     }
     committed = {"full": results}

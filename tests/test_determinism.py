@@ -227,6 +227,163 @@ def test_canonical_journal_invariant_under_coalescing():
     assert deliveries, "no live deliveries — coalescing not exercised"
 
 
+def _run_journaled(sim, dag, config):
+    """Run ``dag`` with keep_journal AMs; return (elapsed, rows,
+    canonical journals, am list)."""
+    client = sim.tez_client(config=config)
+    dispatchers = []
+    ams = []
+    original = client._make_am
+
+    def instrumented(ctx):
+        am = original(ctx)
+        am.dispatcher.keep_journal = True
+        dispatchers.append(am.dispatcher)
+        ams.append(am)
+        return am
+
+    client._make_am = instrumented
+    handle = client.submit_dag(dag)
+    sim.env.run(until=handle.completion)
+    assert handle.status.succeeded, handle.status.diagnostics
+    journals = [d.canonical_journal() for d in dispatchers]
+    rows = tuple(sorted(sim.hdfs.read_file("/out"))) \
+        if sim.hdfs.exists("/out") else ()
+    return handle.status.elapsed, rows, journals
+
+
+def test_fast_path_journal_matches_legacy_with_live_events_and_speculation():
+    """Inline fast-path attempts receiving DataMovementEvents
+    mid-flight (eager slow-start consumers) and a speculative kill
+    landing on a running attempt must produce byte-identical canonical
+    journals vs the forced-legacy generator pipeline.  Exit batching
+    is off on BOTH legs — batching reorders exit records relative to
+    interleaved transitions within a tick (its own equality gates are
+    the perf suite's makespan/dispatched checks)."""
+    from repro.tez import Descriptor, TezConfig
+    from repro.tez.am.attempt_runner import AttemptRunner
+    from repro.tez.vertex_manager import (
+        ShuffleVertexManager,
+        ShuffleVertexManagerConfig,
+    )
+
+    def run(config):
+        sim = make_sim(num_nodes=6, nodes_per_rack=3)
+        # Heavy key skew: reducer holding key 0 is the straggler the
+        # speculator targets.
+        sim.hdfs.write("/in", [(0 if i < 400 else i % 13, i)
+                               for i in range(500)], record_bytes=24)
+        m = fn_vertex("m", lambda c, d: {"s": list(d["src"])}, -1)
+        hdfs_source(m, "src", ["/in"])
+        # Shuffle-in/shuffle-out middle stage: inline-fast-path
+        # eligible (no root HDFS IO), and the speculation straggler.
+        s = fn_vertex("s", lambda c, d: {"r": [
+            (k, sum(vs)) for k, vs in d["m"]
+        ]}, 3, cpu_per_record=2e-2)
+        s.vertex_manager = Descriptor(
+            ShuffleVertexManager,
+            ShuffleVertexManagerConfig(slowstart_min_fraction=0.0,
+                                       slowstart_max_fraction=0.0),
+        )
+        r = fn_vertex("r", lambda c, d: {"out": [
+            (k, sum(vs)) for k, vs in d["s"]
+        ]}, 2)
+        hdfs_sink(r, "out", "/out")
+        dag = DAG("fastdet").add_vertex(m).add_vertex(s).add_vertex(r)
+        dag.add_edge(edge(m, s, SG)).add_edge(edge(s, r, SG))
+
+        inline_verdicts = []
+        orig_eligible = AttemptRunner.inline_eligible
+
+        def probe(spec):
+            verdict = orig_eligible(spec)
+            inline_verdicts.append(verdict)
+            return verdict
+
+        AttemptRunner.inline_eligible = staticmethod(probe)
+        try:
+            result = _run_journaled(sim, dag, config)
+        finally:
+            AttemptRunner.inline_eligible = staticmethod(orig_eligible)
+        return result, inline_verdicts
+
+    spec_kwargs = dict(
+        batch_attempt_exits=False,
+        speculation_enabled=True,
+        speculation_min_completed=1,
+        speculation_slowdown_factor=1.2,
+        speculation_check_interval=0.5,
+    )
+    fast, verdicts = run(TezConfig(attempt_fast_path=True, **spec_kwargs))
+    legacy, _ = run(TezConfig(attempt_fast_path=False, **spec_kwargs))
+    assert fast[0] == legacy[0]               # same simulated makespan
+    assert fast[1] == legacy[1]               # same output rows
+    assert fast[2] == legacy[2]               # same canonical journal
+    # The comparison is not vacuous: attempts really took the inline
+    # path, received live deliveries, and a speculation landed.
+    assert any(verdicts), "no inline-eligible attempts"
+    flat = [line for journal in fast[2] for line in journal]
+    assert any(line[1] == "DataDeliveryEvent" for line in flat), \
+        "no mid-flight deliveries"
+    assert any("speculat" in line[2] or "kill" in line[2]
+               for line in flat), "no speculation/kill in the journal"
+
+
+def test_fast_path_journal_matches_legacy_under_chaos():
+    """A chaos fault (node crash mid-run) forces attempt failure and
+    re-execution; the inline fast path must shut those attempts down
+    through the same observable control-event stream as the legacy
+    generator pipeline."""
+    from repro import FaultPlan
+    from repro.tez import TezConfig
+
+    def run(config):
+        sim = make_sim(num_nodes=6, nodes_per_rack=3)
+        sim.hdfs.write("/in", [(i % 9, i) for i in range(2_000)],
+                       record_bytes=32)
+        m = fn_vertex("m", lambda c, d: {"r": list(d["src"])}, -1,
+                      cpu_per_record=2e-3)
+        hdfs_source(m, "src", ["/in"])
+        r = fn_vertex("r", lambda c, d: {"out": [
+            (k, sum(vs)) for k, vs in d["m"]
+        ]}, 3, setup_seconds=4.0)
+        hdfs_sink(r, "out", "/out")
+        dag = DAG("fastchaos").add_vertex(m).add_vertex(r)
+        dag.add_edge(edge(m, r, SG))
+
+        plan = (FaultPlan(seed=23)
+                .crash_node(at=4.0, restart_after=6.0)
+                .drop_shuffle_output(at=3.0, pattern="/m/", count=1))
+        client = sim.tez_client(config=config, session=True)
+        client.start()
+        controller = sim.chaos(plan, client=client)
+        dispatchers = []
+        original = client._make_am
+
+        def instrumented(ctx):
+            am = original(ctx)
+            am.dispatcher.keep_journal = True
+            dispatchers.append(am.dispatcher)
+            return am
+
+        client._make_am = instrumented
+        handle = client.submit_dag(dag)
+        sim.env.run(until=handle.completion)
+        status = handle.status
+        assert status.succeeded, status.diagnostics
+        client.stop()
+        journals = [d.canonical_journal() for d in dispatchers]
+        return (status.elapsed,
+                tuple(sorted(sim.hdfs.read_file("/out"))),
+                journals, tuple(controller.injected))
+
+    base = dict(batch_attempt_exits=False)
+    fast = run(TezConfig(attempt_fast_path=True, **base))
+    legacy = run(TezConfig(attempt_fast_path=False, **base))
+    assert fast == legacy
+    assert fast[3], "plan injected nothing — scenario under-tuned"
+
+
 # ------------------- journal-prefix replay determinism (hypothesis)
 
 from types import SimpleNamespace

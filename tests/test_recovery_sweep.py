@@ -24,6 +24,21 @@ class TestCrashAnywhereSweep:
         # and had its appends rejected by the epoch fence.
         assert summary["fenced_appends"] > 0
 
+    def test_stride1_sweep_over_fast_path_diamond(self):
+        # The sweep runs with default TezConfig, so every crash point
+        # lands on a run whose middle/join attempts take the inline
+        # fast path and whose exits batch per tick; recovery must be
+        # byte-identical to the no-crash baseline at every boundary.
+        from repro.tez import TezConfig
+        assert TezConfig().attempt_fast_path
+        assert TezConfig().batch_attempt_exits
+        summary = run_sweep(records=400, stride=1, shape="diamond",
+                            verbose=False)
+        assert summary["ok"], summary
+        assert summary["violations"] == 0
+        assert summary["events_replayed"] > 0
+        assert summary["tasks_recovered"] > 0
+
     def test_mid_run_crash_recovers_journaled_work(self):
         base = _execute(records=400, reducers=2)
         # Pick a boundary late enough that map successes are journaled.

@@ -464,3 +464,80 @@ class TestFastPath:
         env.call_later(1, lambda: None)
         env.call_later(2, lambda: None)
         assert env.heap_pushes == before + 2
+
+
+# ------------------- timer-wheel / binary-heap pop-order equivalence
+
+from hypothesis import given, settings, strategies as st
+
+# A small delay pool makes same-quantum collisions and exact-time ties
+# (the insertion-order tiebreaker) overwhelmingly likely, including the
+# wheel's own bucket boundary (1/64 s) and the far band beyond the
+# dense near-term quanta.
+_TIE_DELAYS = [0.0, 0.001, 1.0 / 64, 1.0 / 64, 0.02, 0.5, 0.5,
+               1.0, 1.5, 1.5, 3.7]
+
+_timer_scripts = st.lists(
+    st.tuples(
+        st.sampled_from(_TIE_DELAYS),                         # delay
+        st.one_of(st.none(), st.sampled_from(_TIE_DELAYS)),   # chained
+        st.booleans(),                                        # pooled
+        st.sampled_from(["keep", "cancel_now", "cancel_next"]),
+    ),
+    min_size=1, max_size=30,
+)
+
+
+def _run_timer_script(ops, timer_wheel):
+    """Execute a randomized schedule/cancel interleaving and return the
+    (time, label) firing order."""
+    env = Environment(timer_wheel=timer_wheel)
+    order = []
+    handles = []   # index -> (event, generation | None)
+
+    def make_fire(i, chain, action):
+        def fire():
+            order.append((env.now, i))
+            if action == "cancel_next" and i + 1 < len(handles):
+                ev, gen = handles[i + 1]
+                if gen is None:
+                    ev.cancel()
+                else:
+                    env.cancel_call(ev, gen)
+            if chain is not None:
+                # Nested scheduling from inside a callback exercises
+                # inserts into the wheel's *current* bucket.
+                env.call_later(
+                    chain, lambda: order.append((env.now, i, "chain")))
+        return fire
+
+    for i, (delay, chain, pooled, action) in enumerate(ops):
+        fire = make_fire(i, chain, action)
+        if pooled:
+            ev, gen = env.call_later_pooled(delay, fire)
+            handles.append((ev, gen))
+        else:
+            ev = env.call_later(delay, fire)
+            handles.append((ev, None))
+    for (_d, _c, _p, action), (ev, gen) in zip(ops, handles):
+        if action == "cancel_now":
+            if gen is None:
+                ev.cancel()
+            else:
+                env.cancel_call(ev, gen)
+    try:
+        env.run()
+    except SimulationError as exc:
+        # A schedule holding only cancelled entries raises "empty
+        # schedule" on both backends; fold it into the compared trace.
+        order.append(("error", str(exc)))
+    return order
+
+
+@given(_timer_scripts)
+@settings(max_examples=200, deadline=None)
+def test_timer_wheel_pop_order_matches_binary_heap(ops):
+    """The bucketed-calendar wheel must fire callbacks in exactly the
+    binary heap's order — same times, same same-time tiebreaking —
+    under random schedule/cancel interleavings."""
+    assert _run_timer_script(ops, True) == _run_timer_script(ops, False)
