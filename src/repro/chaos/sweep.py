@@ -14,6 +14,13 @@ point that
 * no task whose success was journaled before the crash is re-executed
   by the recovered AM (the journal's write-ahead guarantee).
 
+The ``session2`` shape extends the sweep to the execution-template
+cache: one session AM runs two structurally-identical DAGs (record,
+then replay), and every crash boundary must additionally leave the
+replayed iteration byte-identical with the cache fenced across AM
+attempts (the recovered attempt starts cold and journal-folds instead
+of trusting a stale template).
+
 Soak mode drives a session through several DAGs while a fault plan
 repeatedly crashes the AM (both timer- and event-boundary-triggered)
 and takes a worker node down mid-run, then checks every DAG still
@@ -210,6 +217,7 @@ class RunOutcome:
     entries_dropped: int = 0
     fenced_appends: int = 0
     checkpoints: int = 0
+    template_hits: int = 0          # execution-template replays, all AMs
 
     def reexecutions(self) -> list:
         """Runs of journaled-at-crash tasks strictly after the crash —
@@ -385,6 +393,105 @@ def _execute_sharded(records: int, reducers: int, shards: int,
     )
 
 
+def _execute_session2(records: int, reducers: int,
+                      crash_after: Optional[int] = None,
+                      checkpoint_interval: Optional[int] = None
+                      ) -> RunOutcome:
+    """One run of a two-iteration template session: a single session
+    AM executes two structurally-identical DAGs back to back (distinct
+    DAG names, same vertex names — the template signature keys on
+    structure, not DAG name), with ``execution_templates`` on. The
+    baseline records the template on the first DAG and replays it on
+    the second; a crash at any first-attempt event boundary must leave
+    the terminal state byte-identical, with no journaled task re-run
+    and the template cache starting cold on the recovered attempt
+    (per-AM cache + recovered-DAG fencing — never trusted across
+    epochs).
+
+    The no-re-execution evidence spans both DAGs: vertex names collide
+    between them, so runs and the journaled-at-crash snapshot are
+    namespaced per DAG before comparison."""
+    sim = _make_sim()
+    sim.hdfs.write(IN_PATH, [(i, i) for i in range(records)],
+                   record_bytes=16)
+    kwargs: dict = {"execution_templates": True}
+    if checkpoint_interval is not None:
+        kwargs["journal_checkpoint_interval"] = checkpoint_interval
+    config = TezConfig(**kwargs)
+    client = sim.tez_client("sweep", config=config, session=True,
+                            am_max_attempts=3)
+    dag_names = (f"{DAG_NAME}2a", f"{DAG_NAME}2b")
+    tags = ("a:", "b:")
+
+    ams: list = []
+    crash: dict = {}
+    inner_make_am = client._make_am
+
+    def make_am(ctx):
+        am = inner_make_am(ctx)
+        ams.append(am)
+        if crash_after is not None and ctx.attempt == 1:
+            def boom():
+                crash["time"] = sim.env.now
+                crash["journaled"] = frozenset(
+                    (tag + vertex, index)
+                    for tag, name in zip(tags, dag_names)
+                    for vertex, index in client.recovery.successes(name)
+                )
+                am.crash()
+
+            am.dispatcher.halt_after(crash_after, boom)
+        return am
+
+    client._make_am = make_am
+
+    runs_by_dag: list[list] = [[], []]
+    handles = []
+    for i, name in enumerate(dag_names):
+        dag = _build_dag(runs_by_dag[i], reducers,
+                         out_path=f"{OUT_PATH}{i}", name=name)
+        handle = client.submit_dag(dag)
+        # Serialize the iterations: the template is recorded when the
+        # first DAG finishes, so the second must not start before it.
+        sim.env.run(until=handle.completion)
+        handles.append(handle)
+    wall = sim.env.now
+    client.stop()
+    sim.env.run(until=sim.env.now + 60)
+
+    all_rows = []
+    for i in range(len(dag_names)):
+        rows: tuple = ()
+        if sim.hdfs.exists(f"{OUT_PATH}{i}"):
+            rows = tuple(sorted(sim.hdfs.read_file(f"{OUT_PATH}{i}")))
+        all_rows.append(rows)
+
+    def counter(name: str) -> int:
+        return int(sum(am.registry.counter(name).value for am in ams))
+
+    runs = [(tag + vertex, index, attempt, t)
+            for tag, dag_runs in zip(tags, runs_by_dag)
+            for vertex, index, attempt, t in dag_runs]
+    return RunOutcome(
+        status_name="/".join(h.status.state.name for h in handles),
+        succeeded=all(h.status.succeeded for h in handles),
+        rows=tuple(all_rows),
+        dispatched=ams[0].dispatcher.dispatched if ams else 0,
+        wall=wall,
+        runs=runs,
+        crashed="time" in crash,
+        crash_time=crash.get("time", -1.0),
+        journaled_at_crash=crash.get("journaled", frozenset()),
+        am_attempts=len(ams),
+        events_replayed=counter("recovery.events_replayed"),
+        tasks_recovered=counter("recovery.tasks_recovered"),
+        entries_dropped=counter("recovery.entries_dropped"),
+        fenced_appends=client.recovery.fenced_appends,
+        checkpoints=client.recovery.checkpoints,
+        template_hits=sum(am.templates.stats.hits for am in ams),
+    )
+
+
 # ------------------------------------------------------------ sweep mode
 @dataclass
 class CrashPoint:
@@ -439,12 +546,16 @@ def run_sweep(records: int = 120, reducers: int = 2, stride: int = 1,
 
     if not 0 <= shard < shards:
         raise ValueError(f"shard {shard} out of range for {shards} shards")
-    if shape not in ("mr", "diamond"):
+    if shape not in ("mr", "diamond", "session2"):
         raise ValueError(f"unknown sweep shape {shape!r}")
     if shape != "mr" and shards > 1:
         raise ValueError("sharded sweeps support only the 'mr' shape")
 
     def execute(crash_after: Optional[int] = None) -> RunOutcome:
+        if shape == "session2":
+            return _execute_session2(
+                records, reducers, crash_after=crash_after,
+                checkpoint_interval=checkpoint_interval)
         if shards == 1:
             return _execute(records, reducers, crash_after=crash_after,
                             checkpoint_interval=checkpoint_interval,
@@ -457,6 +568,12 @@ def run_sweep(records: int = 120, reducers: int = 2, stride: int = 1,
     if not base.succeeded:
         raise RuntimeError(
             f"baseline run did not succeed: {base.status_name}"
+        )
+    if shape == "session2" and base.template_hits < 1:
+        # The leg is vacuous unless the baseline actually replayed a
+        # template on its second iteration.
+        raise RuntimeError(
+            "session2 baseline never hit the template cache"
         )
     total = base.dispatched
     where = f" (shard {shard}/{shards})" if shards > 1 else ""
@@ -502,6 +619,7 @@ def run_sweep(records: int = 120, reducers: int = 2, stride: int = 1,
         "ok": not failures,
         "baseline_events": total,
         "baseline_wall": base.wall,
+        "baseline_template_hits": base.template_hits,
         "shards": shards,
         "shard": shard,
         "points": n_points,
@@ -668,11 +786,14 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="crash this shard's AM at every event "
                              "boundary (implies --shards 2 when "
                              "--shards is not given)")
-    parser.add_argument("--shape", choices=("mr", "diamond"),
+    parser.add_argument("--shape",
+                        choices=("mr", "diamond", "session2"),
                         default="mr",
                         help="reference workload: the two-stage "
-                             "map-reduce or the fast-path diamond "
-                             "slice")
+                             "map-reduce, the fast-path diamond "
+                             "slice, or a two-iteration template "
+                             "session (record on the first DAG, "
+                             "replay on the second)")
     parser.add_argument("--out", default=None,
                         help="write recovery telemetry JSONL here")
     parser.add_argument("--soak", action="store_true",

@@ -224,7 +224,11 @@ class PigTezCompiler:
 
     def _build_load(self, rel: Relation) -> _PStage:
         stage = self._new_stage(f"load", -1)
-        input_name = f"in_{rel.name}"
+        # Name the root input after the stage (per-compile counter),
+        # not the relation (process-global counter): recompiles of the
+        # same script must be structurally identical or the session
+        # AM's execution-template cache can never match them.
+        input_name = f"in_{stage.name}"
         stage.roots[input_name] = (
             DataSourceDescriptor(
                 Descriptor(HdfsInput),

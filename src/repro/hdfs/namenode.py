@@ -42,6 +42,10 @@ class Hdfs:
         self.block_size = block_size or self.spec.hdfs_block_size
         self.replication = replication or self.spec.hdfs_replication
         self._files: dict[str, DfsFile] = {}
+        # Monotonic per-path write versions (never reset by delete):
+        # cheap namespace-change detection for cached split plans
+        # (repro.tez.templates) without hashing file contents.
+        self._versions: dict[str, int] = {}
 
     # -- namespace -------------------------------------------------------
     def exists(self, path: str) -> bool:
@@ -54,7 +58,14 @@ class Hdfs:
             raise FileNotFound(path) from None
 
     def delete(self, path: str) -> None:
-        self._files.pop(path, None)
+        if self._files.pop(path, None) is not None:
+            self._versions[path] = self._versions.get(path, 0) + 1
+
+    def version(self, path: str) -> int:
+        """Write version of ``path``: 0 if never written, bumped on
+        every (over)write and delete. Equal versions imply identical
+        block layout and replica placement."""
+        return self._versions.get(path, 0)
 
     def list_files(self, prefix: str = "") -> list[str]:
         return sorted(p for p in self._files if p.startswith(prefix))
@@ -116,6 +127,7 @@ class Hdfs:
             )
         dfile = DfsFile(path, blocks)
         self._files[path] = dfile
+        self._versions[path] = self._versions.get(path, 0) + 1
         return dfile
 
     def write_time(self, nbytes: int, replication: Optional[int] = None) -> float:

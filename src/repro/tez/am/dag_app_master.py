@@ -41,6 +41,7 @@ from .dispatcher import (
     RecoveryEvent,
     StateTransitionEvent,
     TaskUplinkEvent,
+    TemplateEvent,
 )
 from .event_router import EventRouter
 from .journal import RecoveryJournal
@@ -56,6 +57,7 @@ from .structures import (
 )
 from .task_scheduler import TaskSchedulerService
 from .vertex_lifecycle import DagAbort, VertexLifecycle
+from ..templates import TemplateManager
 from .vm_context import _VMContext
 
 __all__ = ["DAGAppMaster", "DAGStatus", "RecoveryJournal", "DagAbort"]
@@ -115,12 +117,17 @@ class DAGAppMaster:
         # Control plane: one dispatcher, one machine factory, and the
         # components carved out of the historical monolith.
         self.dispatcher = Dispatcher(self.env, name=str(ctx.app_id))
-        self.dispatcher.fast_timers = self.config.attempt_fast_path
         # Same-tick attempt-exit coalescing (mirrors the event router's
         # delivery buckets): tick -> AttemptBatchExitedEvent.
         self._exit_buckets: dict[float, AttemptBatchExitedEvent] = {}
-        if self.config.batch_attempt_exits:
-            self.scheduler.defer_exits = self._defer_attempt_exit
+        # Fast-path *plumbing* (pooled dispatch timers, per-tick exit
+        # batching) is sized to the running DAG: below
+        # config.fast_path_min_tasks created tasks its fixed
+        # bookkeeping costs more host time than it saves, so it stays
+        # demoted until the task count crosses the floor. Either state
+        # produces identical simulated outcomes; only wall time moves.
+        self._created_tasks = 0
+        self._apply_fast_plumbing()
         if recovery is not None:
             self.dispatcher.attach_journal(recovery, self.epoch)
         self.machines = MachineSet(self.dispatcher)
@@ -128,6 +135,10 @@ class DAGAppMaster:
         self.runner = AttemptRunner(self)
         self.router = EventRouter(self)
         self.recovery_service = RecoveryService(self)
+        # Execution-template cache (repro.tez.templates): per-AM by
+        # construction, so a failed-over attempt starts cold and never
+        # trusts pre-crash decisions.
+        self.templates = TemplateManager(self)
         self.speculation = SpeculationMonitor(self)
         self.deadlock = DeadlockMonitor(self)
         self.machines.bind("vertex", self.lifecycle)
@@ -149,6 +160,10 @@ class DAGAppMaster:
         self.dispatcher.register(FaultEvent, self._on_fault)
         self.dispatcher.register(RecoveryEvent,
                                  self.recovery_service.on_recovery_event)
+        # Audit-only (see TemplateEvent): demotion already happened
+        # synchronously at the divergence site; the bus crossing exists
+        # so the journal records it.
+        self.dispatcher.register(TemplateEvent, lambda event: None)
         # Session-wide counters; `metrics` is a dict-compatible live
         # view, so historical `am.metrics[...]` call sites keep working.
         for key in (
@@ -207,6 +222,9 @@ class DAGAppMaster:
         self._edge_managers = {}
         self._init_contexts = {}
         self.scheduler.session_waiting = False
+        # Re-size the fast-path plumbing for this DAG's task count.
+        self._created_tasks = 0
+        self._apply_fast_plumbing()
         # Per-DAG scoping: the whole registry is deltaed against this.
         base_counters = self.registry.snapshot()
 
@@ -244,6 +262,7 @@ class DAGAppMaster:
             )
 
         recovered = self.recovery_service.recovered_work(dag.name)
+        self.templates.begin_dag(dag, recovered)
 
         # Start monitors.
         self._monitors = []
@@ -330,11 +349,27 @@ class DAGAppMaster:
                 state=self._dag_state.value,
                 elapsed=finish - start,
             )
+        self.templates.finish_dag(status)
         self._dag = None
         self.scheduler.session_waiting = True
         return status
 
     # -------------------------------------------------- dispatcher glue
+    def note_tasks_created(self, count: int) -> None:
+        """Vertex lifecycle callback: another ``count`` tasks exist in
+        the running DAG; promote the fast-path plumbing once the DAG is
+        provably big enough to amortize it."""
+        self._created_tasks += count
+        self._apply_fast_plumbing()
+
+    def _apply_fast_plumbing(self) -> None:
+        big = self._created_tasks >= self.config.fast_path_min_tasks
+        self.dispatcher.fast_timers = self.config.attempt_fast_path and big
+        self.scheduler.defer_exits = (
+            self._defer_attempt_exit
+            if (self.config.batch_attempt_exits and big) else None
+        )
+
     def _attempt_body(self, attempt, container) -> Generator:
         return self.runner.attempt_body(attempt, container)
 
@@ -372,6 +407,7 @@ class DAGAppMaster:
         self.dispatcher.dispatch(NodeLostEvent(node))
 
     def _on_node_lost_event(self, event: NodeLostEvent) -> None:
+        self.templates.on_disturbance("node_lost")
         self.recovery_service.on_node_lost(event.node)
 
     def _record_node_failure(self, node_id: Optional[str]) -> None:
@@ -403,6 +439,7 @@ class DAGAppMaster:
 
     def _on_fault(self, event: FaultEvent) -> None:
         """Apply a chaos fault delivered as a control-plane event."""
+        self.templates.on_disturbance(f"fault:{event.kind}")
         if event.kind == "node_crash":
             self.services.cluster.crash_node(event.target)
         elif event.kind == "am_crash":
@@ -489,6 +526,7 @@ class DAGAppMaster:
 
     # -------------------------------------------------- shutdown
     def shutdown(self) -> None:
+        self.templates.detach()
         self.scheduler.shutdown()
         self.services.shuffle.delete_app(str(self.ctx.app_id))
         telemetry = get_telemetry(self.env)

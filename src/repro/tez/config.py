@@ -80,6 +80,27 @@ class TezConfig:
     # and the crash-anywhere sweep invariant. Off dispatches one
     # AttemptExitedEvent per completion (the perf-bench baseline).
     batch_attempt_exits: bool = True
+    # Small-run demotion floor for the fast-path *plumbing*: DAGs whose
+    # created-task total stays below this threshold skip the pooled
+    # dispatch timers and per-tick exit batching (their fixed
+    # bookkeeping only amortizes at scale) while keeping the inline
+    # attempt body. Purely a host-time tuning knob — demoted and
+    # undemoted runs produce identical simulated outcomes.
+    fast_path_min_tasks: int = 16
+
+    # -- execution templates (Mashayekhi et al., PAPERS.md) -------------------
+    # On the first execution of a DAG structure in a session AM, record
+    # an ExecutionTemplate (root-input split plans, vertex-manager
+    # scheduling plans, edge routing tables, container/slot assignment
+    # sequences) keyed by the structural DAG signature. Later
+    # structurally-identical DAGs instantiate the template by patching
+    # parameters and bypass the recomputation; any validity divergence
+    # (node loss, blacklist change, slot churn, recovery in flight)
+    # falls back to full scheduling automatically — replayed and fully
+    # scheduled runs are decision-for-decision identical, so simulated
+    # outcomes never depend on this flag. Off disables recording and
+    # replay entirely (the perf-bench baseline).
+    execution_templates: bool = True
 
     # -- commit ---------------------------------------------------------------
     commit_on_dag_success: bool = True
@@ -100,6 +121,8 @@ class TezConfig:
             raise ValueError("speculation_slowdown_factor must exceed 1.0")
         if self.node_max_task_failures < 1:
             raise ValueError("node_max_task_failures must be >= 1")
+        if self.fast_path_min_tasks < 0:
+            raise ValueError("fast_path_min_tasks must be >= 0")
         if not 0 < self.blacklist_disable_fraction <= 1.0:
             raise ValueError(
                 "blacklist_disable_fraction must be in (0, 1]"

@@ -29,6 +29,7 @@ def test_legacy_config_disables_both_optimizations():
     assert not legacy.indexed_scheduler
     assert not legacy.attempt_fast_path
     assert not legacy.batch_attempt_exits
+    assert not legacy.execution_templates
     default = TezConfig()
     assert default.composite_dme and default.coalesce_deliveries
     assert default.indexed_scheduler
@@ -87,6 +88,8 @@ def test_full_mode_enforces_absolute_criteria():
     assert CRITERIA["sched_heavy.wall_speedup"] >= 1.5
     assert CRITERIA["telemetry_overhead.wall_speedup"] >= 0.95
     assert CRITERIA["diamond.wall_speedup"] >= 5.0
+    assert CRITERIA["kmeans_iter.wall_speedup"] >= 3.0
+    assert CRITERIA["chaos.wall_speedup"] >= 0.95
     results = {
         "mode": "full",
         "scenarios": {
@@ -95,6 +98,8 @@ def test_full_mode_enforces_absolute_criteria():
             "sched_heavy": {"ratios": {"wall_speedup": 3.0}},
             "telemetry_overhead": {"ratios": {"wall_speedup": 0.99}},
             "diamond": {"ratios": {"wall_speedup": 6.0}},
+            "chaos": {"ratios": {"wall_speedup": 1.05}},
+            "kmeans_iter": {"ratios": {"wall_speedup": 4.0}},
         },
     }
     committed = {"full": results}

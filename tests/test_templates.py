@@ -1,0 +1,321 @@
+"""Execution templates (ISSUE 10): structural signatures, replay
+equivalence, placement replay, perturbation fallback.
+
+The load-bearing invariant everywhere below: a session with
+``execution_templates`` on is *observably identical* to one with it
+off — same allocation log (which task ran where, and when), same
+committed rows, same sim makespans — the template layer only removes
+host-side control-plane work, never changes a decision.
+"""
+
+import hashlib
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.tez import Descriptor, DAG, TezConfig
+from repro.tez.library import FnProcessor
+from repro.tez.templates import dag_signature
+from repro.tez.vertex_manager import (
+    ShuffleVertexManager,
+    ShuffleVertexManagerConfig,
+)
+
+from helpers import SG, edge, fn_vertex, hdfs_sink, hdfs_source, make_sim
+
+IN_PATH = "/tmpl/in"
+
+
+def _write_input(sim, records=1024):
+    # 1024 records x 16B = 4 HDFS blocks -> 4 map tasks.
+    sim.hdfs.write(IN_PATH, [(i, i % 97) for i in range(records)],
+                   record_bytes=16)
+
+
+def _map_variant(variant, log, out="r"):
+    def fn(ctx, data):
+        log.append(("m", ctx.task_index, ctx.attempt, ctx.node_id,
+                    round(ctx.env.now, 9)))
+        return {out: [(k % 13, v * (variant + 1)) for k, v in data["src"]]}
+    return fn
+
+
+def _reduce_variant(variant, log):
+    def fn(ctx, data):
+        log.append(("r", ctx.task_index, ctx.attempt, ctx.node_id,
+                    round(ctx.env.now, 9)))
+        return {"out": sorted(
+            (k, sum(vs) + variant) for k, vs in data["m"])}
+    return fn
+
+
+def _iter_dag(name, variant, out_path, log, reducers=2):
+    """One loop iteration: same structure every time, parameter
+    payloads (processor closures, sink path) vary with ``variant``."""
+    m = fn_vertex("m", _map_variant(variant, log), -1)
+    hdfs_source(m, "src", [IN_PATH])
+    r = fn_vertex("r", _reduce_variant(variant, log), reducers)
+    hdfs_sink(r, "out", out_path)
+    return DAG(name).add_vertex(m).add_vertex(r).add_edge(edge(m, r, SG))
+
+
+def _template_stats(client):
+    summaries = client.coordinator.template_summaries()
+    assert len(summaries) == 1
+    return summaries[0]
+
+
+# ---------------------------------------------------------------- signature
+class TestDagSignature:
+    def test_parameter_payloads_excluded(self):
+        # Different processor closures, different sink paths, different
+        # DAG names: one template key.
+        a = _iter_dag("it0", 0, "/tmpl/out0", [])
+        b = _iter_dag("it1", 7, "/tmpl/out1", [])
+        assert dag_signature(a) == dag_signature(b)
+
+    def test_structure_included(self):
+        base = _iter_dag("it", 0, "/tmpl/out", [])
+        more_reducers = _iter_dag("it", 0, "/tmpl/out", [], reducers=3)
+        assert dag_signature(base) != dag_signature(more_reducers)
+
+        m = fn_vertex("m", _map_variant(0, [], out="r2"), -1)
+        hdfs_source(m, "src", [IN_PATH])
+        r2 = fn_vertex("r2", _reduce_variant(0, []), 2)
+        hdfs_sink(r2, "out", "/tmpl/out")
+        renamed = (DAG("it").add_vertex(m).add_vertex(r2)
+                   .add_edge(edge(m, r2, SG)))
+        assert dag_signature(base) != dag_signature(renamed)
+
+    def test_vertex_manager_tuning_included(self):
+        # Slow-start fractions change the decision process itself, so
+        # they are structural even though they live in a payload.
+        def with_slowstart(lo):
+            d = _iter_dag("it", 0, "/tmpl/out", [])
+            d.vertices["r"].vertex_manager = Descriptor(
+                ShuffleVertexManager,
+                ShuffleVertexManagerConfig(slowstart_min_fraction=lo),
+            )
+            return d
+
+        assert dag_signature(with_slowstart(0.25)) \
+            != dag_signature(with_slowstart(0.75))
+
+    def test_processor_class_included(self):
+        from repro.tez.library import SleepProcessor
+        a = _iter_dag("it", 0, "/tmpl/out", [])
+        b = _iter_dag("it", 0, "/tmpl/out", [])
+        b.vertices["m"].processor = Descriptor(SleepProcessor,
+                                               {"seconds": 0.1})
+        assert dag_signature(a) != dag_signature(b)
+
+
+# ----------------------------------------------------------------- sessions
+def _drive_session(templates_on, iterations=3, perturb=None, prewarm=8):
+    """Run ``iterations`` structurally-identical DAGs through one
+    session; returns (alloc_log, per-iteration results, stats).
+
+    ``perturb`` maps an iteration index to a callable applied to the
+    sim *before* that iteration is submitted (cluster perturbations —
+    node crash/restart — land between runs, at identical sim times in
+    both legs)."""
+    sim = make_sim()
+    _write_input(sim)
+    # Long idle timeouts keep the prewarmed container pool stable: an
+    # idle-reaped container is slot churn, which (correctly) demotes
+    # placement replay — these tests pin the happy path.
+    config = TezConfig(execution_templates=templates_on,
+                       container_idle_timeout=1e9,
+                       session_idle_timeout=1e9)
+    client = sim.tez_client("tmpl", config=config, session=True)
+    client.start()
+    if prewarm:
+        client.prewarm(prewarm)
+        sim.env.run(until=sim.env.now + 30.0)
+    log: list = []
+    results = []
+    for i in range(iterations):
+        if perturb and i in perturb:
+            perturb[i](sim, client)
+        out_path = f"/tmpl/out{i}"
+        handle = client.submit_dag(_iter_dag(f"it{i}", i, out_path, log))
+        sim.env.run(until=handle.completion)
+        assert handle.status.succeeded, handle.status.diagnostics
+        rows = tuple(sorted(sim.hdfs.read_file(out_path)))
+        results.append((handle.status.state.name,
+                        round(sim.env.now, 9), rows))
+    stats = _template_stats(client)
+    client.stop()
+    return log, results, stats
+
+
+def _digest(obj) -> str:
+    return hashlib.sha256(repr(obj).encode()).hexdigest()
+
+
+class TestSessionReplay:
+    def test_hits_and_byte_identity(self):
+        log_on, res_on, stats = _drive_session(True)
+        log_off, res_off, stats_off = _drive_session(False)
+        # Observable behaviour is byte-identical...
+        assert _digest(log_on) == _digest(log_off)
+        assert _digest(res_on) == _digest(res_off)
+        # ...and the cache did the work: record once, replay the rest.
+        assert stats["recorded"] == 1
+        assert stats["hits"] == 2
+        assert stats["fallbacks"] == 0
+        assert stats["params_patched"] > 0      # payloads were patched in
+        assert stats_off["hits"] == 0 and stats_off["recorded"] == 0
+
+    def test_placement_replay_engages(self):
+        # Prewarmed session, 6 tasks vs 8 idle containers: every
+        # assignment is a schedule-time reuse, so the placement
+        # sub-plan records and replays (no queue-drain demotion).
+        sim = make_sim()
+        _write_input(sim)
+        config = TezConfig(container_idle_timeout=1e9,
+                           session_idle_timeout=1e9)
+        client = sim.tez_client("tmpl", config=config, session=True)
+        client.start()
+        client.prewarm(8)
+        sim.env.run(until=sim.env.now + 30.0)
+        log: list = []
+        placements = []
+        for i in range(2):
+            handle = client.submit_dag(
+                _iter_dag(f"it{i}", i, f"/tmpl/out{i}", log))
+            sim.env.run(until=handle.completion)
+            assert handle.status.succeeded
+            placements.append(sorted(set(
+                (v, t, node) for v, t, _a, node, _now in log)))
+            log.clear()
+        am = client.last_am
+        template = next(iter(am.templates.cache.values()))
+        assert template.placement is not None
+        assert len(template.placement.assignments) == 6   # 4 maps + 2 red
+        stats = am.templates.stats
+        assert stats.hits == 1 and not stats.fallbacks
+        # The replayed iteration landed every task on the recorded slot.
+        assert placements[0] == placements[1]
+        client.stop()
+
+    def test_node_crash_between_runs_invalidates(self):
+        def crash_non_am_node(sim, client):
+            am_node = client.last_am.ctx.am_container.node_id
+            victim = next(n for n in sorted(sim.cluster.nodes)
+                          if n != am_node)
+            sim.cluster.crash_node(victim)
+
+        log_on, res_on, stats = _drive_session(
+            True, iterations=3, perturb={2: crash_non_am_node})
+        log_off, res_off, _ = _drive_session(
+            False, iterations=3, perturb={2: crash_non_am_node})
+        assert _digest(log_on) == _digest(log_off)
+        assert _digest(res_on) == _digest(res_off)
+        # Iteration 1 replayed; the node loss dropped the cache, so
+        # iteration 2 re-recorded instead of trusting stale splits.
+        assert stats["hits"] == 1
+        assert stats["invalidations"] >= 1
+        assert stats["recorded"] == 2
+
+    def test_node_crash_mid_replay_falls_back(self):
+        sim = make_sim()
+        _write_input(sim)
+        config = TezConfig(container_idle_timeout=1e9,
+                           session_idle_timeout=1e9)
+        client = sim.tez_client("tmpl", config=config, session=True)
+        client.start()
+        client.prewarm(8)
+        sim.env.run(until=sim.env.now + 30.0)
+        log: list = []
+        h0 = client.submit_dag(_iter_dag("it0", 0, "/tmpl/out0", log))
+        sim.env.run(until=h0.completion)
+        assert client.last_am.templates.stats.recorded == 1
+
+        def crasher():
+            yield sim.env.timeout(0.2)
+            am_node = client.last_am.ctx.am_container.node_id
+            victim = next(n for n in sorted(sim.cluster.nodes)
+                          if n != am_node)
+            sim.cluster.crash_node(victim)
+
+        sim.env.process(crasher())
+        h1 = client.submit_dag(_iter_dag("it1", 1, "/tmpl/out1", log))
+        sim.env.run(until=h1.completion)
+        assert h1.status.succeeded, h1.status.diagnostics
+        stats = client.last_am.templates.stats
+        # The replay in flight demoted to full scheduling and the run
+        # still committed; nothing stale survived in the cache.
+        assert sum(stats.fallbacks.values()) >= 1
+        assert not client.last_am.templates.cache
+        expected = tuple(sorted(sim.hdfs.read_file("/tmpl/out1")))
+        assert expected      # committed rows exist
+        client.stop()
+
+
+# --------------------------------------------------------------- hypothesis
+# Satellite: randomized structurally-identical DAG sequences with
+# interleaved cluster perturbations; templates-on must be sha256-equal
+# to full scheduling on both the allocation log and terminal digests.
+_STEP = st.one_of(
+    st.tuples(st.just("dag"), st.integers(0, 5)),
+    st.just(("crash",)),
+    st.just(("restart",)),
+)
+
+
+def _apply_script(templates_on, script):
+    sim = make_sim()
+    _write_input(sim)
+    config = TezConfig(execution_templates=templates_on,
+                       container_idle_timeout=1e9,
+                       session_idle_timeout=1e9)
+    client = sim.tez_client("tmpl", config=config, session=True)
+    client.start()
+    client.prewarm(8)
+    sim.env.run(until=sim.env.now + 30.0)
+    log: list = []
+    results = []
+    crashed: list = []
+    n = 0
+    for step in script:
+        if step[0] == "crash":
+            alive = [node for node in sorted(sim.cluster.nodes)
+                     if node != client.last_am.ctx.am_container.node_id
+                     and node not in crashed]
+            if len(alive) > 1:          # keep the cluster schedulable
+                sim.cluster.crash_node(alive[0])
+                crashed.append(alive[0])
+        elif step[0] == "restart":
+            if crashed:
+                sim.cluster.restart_node(crashed.pop(0))
+        else:
+            _, variant = step
+            out_path = f"/tmpl/out{n}"
+            handle = client.submit_dag(
+                _iter_dag(f"it{n}", variant, out_path, log))
+            sim.env.run(until=handle.completion)
+            rows = tuple(sorted(sim.hdfs.read_file(out_path))) \
+                if sim.hdfs.exists(out_path) else ()
+            results.append((handle.status.state.name,
+                            round(sim.env.now, 9), rows))
+            n += 1
+    stats = _template_stats(client)
+    client.stop()
+    return _digest(log), _digest(results), stats
+
+
+class TestTemplateEquivalenceProperty:
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(script=st.lists(_STEP, min_size=0, max_size=3))
+    def test_replay_equals_full_scheduling(self, script):
+        # Two leading iterations guarantee every example records once
+        # and replays at least once before the random tail perturbs.
+        script = [("dag", 0), ("dag", 1)] + script
+        alloc_on, res_on, stats = _apply_script(True, script)
+        alloc_off, res_off, stats_off = _apply_script(False, script)
+        assert alloc_on == alloc_off
+        assert res_on == res_off
+        assert stats["recorded"] >= 1
+        assert stats["hits"] >= 1
+        assert stats_off["hits"] == 0 and stats_off["recorded"] == 0
